@@ -1,0 +1,480 @@
+//! simnet node adapters: authoritative nameservers speaking real wire-format
+//! DNS over the simulated fabric.
+
+use crate::provider::{HostingProvider, ProviderAnswer};
+use crate::zone::{Zone, ZoneAnswer};
+use dnswire::{Message, Name, Question, Rcode, Record, RecordType};
+use simnet::{Actions, Datagram, Node, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// The DNS service port.
+pub const DNS_PORT: u16 = 53;
+
+/// Build the authoritative response for a [`ZoneAnswer`].
+pub fn zone_answer_to_message(query: &Message, soa: Option<&Record>, ans: ZoneAnswer) -> Message {
+    match ans {
+        ZoneAnswer::Records(rs) => {
+            let mut m = Message::response_to(query, Rcode::NoError);
+            m.flags.authoritative = true;
+            m.answers = rs;
+            m
+        }
+        ZoneAnswer::Delegation { ns, glue } => {
+            let mut m = Message::response_to(query, Rcode::NoError);
+            m.authorities = ns;
+            m.additionals = glue;
+            m
+        }
+        ZoneAnswer::NoData => {
+            let mut m = Message::response_to(query, Rcode::NoError);
+            m.flags.authoritative = true;
+            if let Some(soa) = soa {
+                m.authorities.push(soa.clone());
+            }
+            m
+        }
+        ZoneAnswer::NxDomain => {
+            let mut m = Message::response_to(query, Rcode::NxDomain);
+            m.flags.authoritative = true;
+            if let Some(soa) = soa {
+                m.authorities.push(soa.clone());
+            }
+            m
+        }
+        ZoneAnswer::NotInZone => Message::response_to(query, Rcode::Refused),
+    }
+}
+
+/// Response size limit for a transport: UDP truncates at 512 bytes
+/// (classic DNS) unless the query advertised a larger EDNS(0) buffer; TCP
+/// carries the full message.
+fn size_limit(proto: simnet::Proto, query: &Message) -> usize {
+    match proto {
+        simnet::Proto::Udp => {
+            let advertised = query
+                .edns_payload_size()
+                .map(|s| s as usize)
+                .unwrap_or(dnswire::MAX_UDP_PAYLOAD);
+            advertised.clamp(dnswire::MAX_UDP_PAYLOAD, dnswire::MAX_MESSAGE_LEN)
+        }
+        simnet::Proto::Tcp => dnswire::MAX_MESSAGE_LEN,
+    }
+}
+
+fn decode_query(payload: &[u8]) -> Result<Message, Option<Message>> {
+    match Message::decode(payload) {
+        Ok(q) if !q.flags.response && q.question().is_some() => Ok(q),
+        Ok(q) if !q.flags.response => {
+            // Parseable but question-less: answer FORMERR.
+            Err(Some(Message::response_to(&q, Rcode::FormErr)))
+        }
+        // Responses delivered to a server, or garbage: silently dropped,
+        // exactly like a defensive real-world server.
+        _ => Err(None),
+    }
+}
+
+/// A nameserver belonging to a hosting provider.
+///
+/// Many `ProviderNsNode`s share one [`HostingProvider`] (its zone table is
+/// the provider's control plane); each node answers as its own IP, which is
+/// what makes per-nameserver allocation policies observable on the wire.
+pub struct ProviderNsNode {
+    provider: Rc<RefCell<HostingProvider>>,
+    ip: Ipv4Addr,
+}
+
+impl ProviderNsNode {
+    /// Attach a node for the provider nameserver at `ip`.
+    pub fn new(provider: Rc<RefCell<HostingProvider>>, ip: Ipv4Addr) -> Self {
+        ProviderNsNode { provider, ip }
+    }
+}
+
+impl Node for ProviderNsNode {
+    fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+        let query = match decode_query(&dgram.payload) {
+            Ok(q) => q,
+            Err(Some(resp)) => {
+                if let Ok(bytes) = resp.encode() {
+                    out.send(dgram.reply(bytes));
+                }
+                return;
+            }
+            Err(None) => return,
+        };
+        let q = query.question().expect("checked by decode_query").clone();
+        let provider = self.provider.borrow();
+        let resp = match provider.answer(self.ip, &q) {
+            ProviderAnswer::FromZone(zid, ans) => {
+                let soa = provider.zone(zid).map(|z| z.zone.soa().clone());
+                zone_answer_to_message(&query, soa.as_ref(), ans)
+            }
+            ProviderAnswer::Protective(rs) => {
+                let mut m = Message::response_to(&query, Rcode::NoError);
+                m.flags.authoritative = true;
+                m.answers = rs;
+                m
+            }
+            ProviderAnswer::Refused => Message::response_to(&query, Rcode::Refused),
+        };
+        drop(provider);
+        if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
+            out.send(dgram.reply(bytes));
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "provider-ns"
+    }
+}
+
+/// A standalone authoritative server for a fixed set of zones — used for
+/// the root, TLD registries and self-hosted (non-provider) domains.
+pub struct StaticZoneNode {
+    zones: Rc<RefCell<Vec<Zone>>>,
+}
+
+impl StaticZoneNode {
+    /// Serve the given shared zones.
+    pub fn new(zones: Rc<RefCell<Vec<Zone>>>) -> Self {
+        StaticZoneNode { zones }
+    }
+
+    /// Serve one owned zone.
+    pub fn single(zone: Zone) -> Self {
+        StaticZoneNode { zones: Rc::new(RefCell::new(vec![zone])) }
+    }
+}
+
+impl Node for StaticZoneNode {
+    fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+        let query = match decode_query(&dgram.payload) {
+            Ok(q) => q,
+            Err(Some(resp)) => {
+                if let Ok(bytes) = resp.encode() {
+                    out.send(dgram.reply(bytes));
+                }
+                return;
+            }
+            Err(None) => return,
+        };
+        let q = query.question().expect("checked").clone();
+        let zones = self.zones.borrow();
+        // Most specific enclosing zone wins.
+        let best = zones
+            .iter()
+            .filter(|z| q.qname.is_subdomain_of(z.apex()))
+            .max_by_key(|z| z.apex().label_count());
+        let resp = match best {
+            Some(zone) => zone_answer_to_message(&query, Some(zone.soa()), zone.answer(&q)),
+            None => Message::response_to(&query, Rcode::Refused),
+        };
+        drop(zones);
+        if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
+            out.send(dgram.reply(bytes));
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "static-auth"
+    }
+}
+
+/// Ground-truth answer table shared by oracle nodes: `(qname, qtype)` to
+/// the canonical records for the delegated web.
+pub type AnswerMap = HashMap<(Name, RecordType), Vec<Record>>;
+
+/// A *misconfigured* nameserver that performs recursion for names it does
+/// not host and returns the correct global answer (RA set, AA clear).
+///
+/// The paper (§4) calls out such servers as a source of URs that must be
+/// excluded: their "undelegated" answers are simply the correct records.
+pub struct OracleRecursiveNs {
+    truth: Rc<RefCell<AnswerMap>>,
+}
+
+impl OracleRecursiveNs {
+    /// Create an oracle node over the shared ground-truth table.
+    pub fn new(truth: Rc<RefCell<AnswerMap>>) -> Self {
+        OracleRecursiveNs { truth }
+    }
+}
+
+impl Node for OracleRecursiveNs {
+    fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+        let query = match decode_query(&dgram.payload) {
+            Ok(q) => q,
+            Err(Some(resp)) => {
+                if let Ok(bytes) = resp.encode() {
+                    out.send(dgram.reply(bytes));
+                }
+                return;
+            }
+            Err(None) => return,
+        };
+        let q = query.question().expect("checked").clone();
+        let truth = self.truth.borrow();
+        let answers = truth.get(&(q.qname.clone(), q.qtype)).cloned();
+        let resp = match answers {
+            Some(rs) if !rs.is_empty() => {
+                let mut m = Message::response_to(&query, Rcode::NoError);
+                m.flags.recursion_available = true;
+                m.answers = rs;
+                m
+            }
+            _ => {
+                let mut m = Message::response_to(&query, Rcode::NxDomain);
+                m.flags.recursion_available = true;
+                m
+            }
+        };
+        drop(truth);
+        if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
+            out.send(dgram.reply(bytes));
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "misconfigured-recursive-ns"
+    }
+}
+
+/// Convenience for tests and probes: one blocking DNS query over the fabric.
+/// Returns the decoded response, or `None` on timeout/garbage. A truncated
+/// UDP answer (TC bit) is transparently retried over TCP, as real stub
+/// resolvers and scanners do.
+pub fn dns_query(
+    net: &mut simnet::Network,
+    client_ip: Ipv4Addr,
+    server_ip: Ipv4Addr,
+    qname: &Name,
+    qtype: RecordType,
+    id: u16,
+) -> Option<Message> {
+    let query = Message::query(id, Question::new(qname.clone(), qtype));
+    let bytes = query.encode().ok()?;
+    let reply = net.rpc(
+        simnet::Endpoint::new(client_ip, 30000 + (id % 30000)),
+        simnet::Endpoint::new(server_ip, DNS_PORT),
+        simnet::Proto::Udp,
+        bytes.clone(),
+        simnet::SimDuration::from_secs(5),
+    )?;
+    let resp = Message::decode(&reply).ok()?;
+    if resp.id != id {
+        return None;
+    }
+    if !resp.flags.truncated {
+        return Some(resp);
+    }
+    // TCP fallback for the complete answer.
+    let tcp_reply = net.rpc(
+        simnet::Endpoint::new(client_ip, 30000 + (id % 30000)),
+        simnet::Endpoint::new(server_ip, DNS_PORT),
+        simnet::Proto::Tcp,
+        bytes,
+        simnet::SimDuration::from_secs(5),
+    );
+    match tcp_reply {
+        Some(raw) => match Message::decode(&raw) {
+            Ok(full) if full.id == id => Some(full),
+            _ => Some(resp),
+        },
+        // TCP blocked or lost: the truncated answer is all we have.
+        None => Some(resp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DomainClass, HostingPolicy};
+    use dnswire::RData;
+    use simnet::Network;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn build_provider_net() -> (Network, Rc<RefCell<HostingProvider>>) {
+        let fleet: Vec<(Name, Ipv4Addr)> = (0..4)
+            .map(|i| (n(&format!("ns{i}.cloudx.example")), Ipv4Addr::new(198, 18, 0, i + 1)))
+            .collect();
+        let provider = Rc::new(RefCell::new(HostingProvider::new(
+            "CloudX",
+            HostingPolicy::cloudns(),
+            fleet.clone(),
+            Ipv4Addr::new(198, 18, 0, 250),
+            11,
+        )));
+        let mut net = Network::new(5);
+        for (_, ip) in &fleet {
+            net.add_node(*ip, Box::new(ProviderNsNode::new(provider.clone(), *ip)));
+        }
+        (net, provider)
+    }
+
+    #[test]
+    fn wire_query_returns_hosted_ur() {
+        let (mut net, provider) = build_provider_net();
+        {
+            let mut p = provider.borrow_mut();
+            let acct = p.create_account();
+            let zid = p.host_domain(acct, &n("trusted.com"), DomainClass::RegisteredSld).unwrap();
+            p.add_record(zid, Record::new(n("trusted.com"), 60, RData::A(Ipv4Addr::new(66, 66, 66, 66))));
+        }
+        let resp = dns_query(
+            &mut net,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(198, 18, 0, 1),
+            &n("trusted.com"),
+            RecordType::A,
+            0x55,
+        )
+        .unwrap();
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(resp.flags.authoritative);
+        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(66, 66, 66, 66));
+    }
+
+    #[test]
+    fn wire_query_unknown_domain_gets_protective() {
+        let (mut net, _provider) = build_provider_net();
+        let resp = dns_query(
+            &mut net,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(198, 18, 0, 2),
+            &n("nothosted.net"),
+            RecordType::A,
+            0x56,
+        )
+        .unwrap();
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(198, 18, 0, 250));
+    }
+
+    #[test]
+    fn static_zone_node_answers_and_refuses() {
+        let mut zone = Zone::new(n("corp.example"));
+        zone.add(Record::new(n("www.corp.example"), 60, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        let mut net = Network::new(1);
+        let ns_ip = Ipv4Addr::new(192, 0, 2, 53);
+        net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
+        let client = Ipv4Addr::new(10, 0, 0, 2);
+        let ok = dns_query(&mut net, client, ns_ip, &n("www.corp.example"), RecordType::A, 1).unwrap();
+        assert_eq!(ok.rcode(), Rcode::NoError);
+        let refused = dns_query(&mut net, client, ns_ip, &n("other.org"), RecordType::A, 2).unwrap();
+        assert_eq!(refused.rcode(), Rcode::Refused);
+        let nx = dns_query(&mut net, client, ns_ip, &n("gone.corp.example"), RecordType::A, 3).unwrap();
+        assert_eq!(nx.rcode(), Rcode::NxDomain);
+        assert!(!nx.authorities.is_empty(), "negative answer carries SOA");
+    }
+
+    #[test]
+    fn oracle_recursive_ns_returns_correct_records() {
+        let mut truth: AnswerMap = HashMap::new();
+        truth.insert(
+            (n("popular.com"), RecordType::A),
+            vec![Record::new(n("popular.com"), 60, RData::A(Ipv4Addr::new(203, 0, 113, 7)))],
+        );
+        let mut net = Network::new(1);
+        let ns_ip = Ipv4Addr::new(192, 0, 2, 99);
+        net.add_node(ns_ip, Box::new(OracleRecursiveNs::new(Rc::new(RefCell::new(truth)))));
+        let resp = dns_query(&mut net, Ipv4Addr::new(10, 0, 0, 3), ns_ip, &n("popular.com"), RecordType::A, 9).unwrap();
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(resp.flags.recursion_available);
+        assert!(!resp.flags.authoritative);
+        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 7));
+    }
+
+    #[test]
+    fn garbage_payload_is_ignored() {
+        let (mut net, _) = build_provider_net();
+        let reply = net.rpc(
+            simnet::Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 4000),
+            simnet::Endpoint::new(Ipv4Addr::new(198, 18, 0, 1), DNS_PORT),
+            simnet::Proto::Udp,
+            vec![0xFF; 30],
+            simnet::SimDuration::from_secs(2),
+        );
+        assert!(reply.is_none());
+    }
+
+    #[test]
+    fn truncated_udp_falls_back_to_tcp() {
+        // A fat RRset (40 A records) cannot fit a 512-byte UDP payload.
+        let mut zone = Zone::new(n("fat.example"));
+        for i in 0..40u8 {
+            zone.add(Record::new(n("fat.example"), 60, RData::A(Ipv4Addr::new(203, 0, 113, i))));
+        }
+        let mut net = Network::new(2);
+        let ns_ip = Ipv4Addr::new(192, 0, 2, 60);
+        net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
+        let resp = dns_query(&mut net, Ipv4Addr::new(10, 0, 0, 4), ns_ip, &n("fat.example"), RecordType::A, 21)
+            .unwrap();
+        // dns_query retried over TCP: the full set arrives, untruncated.
+        assert!(!resp.flags.truncated);
+        assert_eq!(resp.answers.len(), 40);
+
+        // And the raw UDP exchange really does truncate.
+        let q = Message::query(22, dnswire::Question::new(n("fat.example"), RecordType::A));
+        let reply = net
+            .rpc(
+                simnet::Endpoint::new(Ipv4Addr::new(10, 0, 0, 5), 4001),
+                simnet::Endpoint::new(ns_ip, DNS_PORT),
+                simnet::Proto::Udp,
+                q.encode().unwrap(),
+                simnet::SimDuration::from_secs(2),
+            )
+            .unwrap();
+        assert!(reply.len() <= dnswire::MAX_UDP_PAYLOAD);
+        let udp_resp = Message::decode(&reply).unwrap();
+        assert!(udp_resp.flags.truncated);
+        assert!(udp_resp.answers.len() < 40);
+    }
+
+    #[test]
+    fn edns_buffer_avoids_truncation_on_udp() {
+        let mut zone = Zone::new(n("fat2.example"));
+        for i in 0..40u8 {
+            zone.add(Record::new(n("fat2.example"), 60, RData::A(Ipv4Addr::new(203, 0, 113, i))));
+        }
+        let mut net = Network::new(3);
+        let ns_ip = Ipv4Addr::new(192, 0, 2, 61);
+        net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
+        let mut q = Message::query(41, dnswire::Question::new(n("fat2.example"), RecordType::A));
+        q.add_edns(4096);
+        let reply = net
+            .rpc(
+                simnet::Endpoint::new(Ipv4Addr::new(10, 0, 0, 7), 4002),
+                simnet::Endpoint::new(ns_ip, DNS_PORT),
+                simnet::Proto::Udp,
+                q.encode().unwrap(),
+                simnet::SimDuration::from_secs(2),
+            )
+            .unwrap();
+        let resp = Message::decode(&reply).unwrap();
+        assert!(!resp.flags.truncated, "EDNS buffer must prevent truncation");
+        assert_eq!(resp.answers.len(), 40);
+        assert!(reply.len() > dnswire::MAX_UDP_PAYLOAD);
+    }
+
+    #[test]
+    fn txt_protective_record_over_wire() {
+        let (mut net, _) = build_provider_net();
+        let resp = dns_query(
+            &mut net,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(198, 18, 0, 3),
+            &n("unhosted.org"),
+            RecordType::Txt,
+            0x77,
+        )
+        .unwrap();
+        assert!(resp.answers[0].rdata.txt_joined().unwrap().contains("not hosted"));
+    }
+}

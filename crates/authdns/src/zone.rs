@@ -1,0 +1,377 @@
+//! DNS zones: record storage and authoritative answer logic.
+
+use dnswire::{Name, Question, RData, Record, RecordType};
+use std::collections::BTreeMap;
+
+/// A DNS zone: an apex name and the records at or below it.
+///
+/// Records are stored per `(owner, type)` RRset. The zone also carries its
+/// SOA so negative answers can include it in the authority section.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    apex: Name,
+    records: BTreeMap<(Name, RecordType), Vec<Record>>,
+    serial: u32,
+}
+
+/// The outcome of resolving a question against a single zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneAnswer {
+    /// Authoritative data for the question (may be a CNAME chain).
+    Records(Vec<Record>),
+    /// The name is delegated below this zone: referral data.
+    Delegation {
+        /// NS records at the delegation cut.
+        ns: Vec<Record>,
+        /// Glue A records for in-zone nameservers.
+        glue: Vec<Record>,
+    },
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist in this zone.
+    NxDomain,
+    /// The question is outside this zone's authority.
+    NotInZone,
+}
+
+impl Zone {
+    /// Create an empty zone with a synthesized SOA.
+    pub fn new(apex: Name) -> Self {
+        let soa = Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa {
+                mname: apex.child(b"ns1").unwrap_or_else(|_| apex.clone()),
+                rname: apex.child(b"hostmaster").unwrap_or_else(|_| apex.clone()),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        );
+        let mut records = BTreeMap::new();
+        records.insert((apex.clone(), RecordType::Soa), vec![soa]);
+        Zone { apex, records, serial: 1 }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Current serial (bumped on every mutation).
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// Add a record. The owner must be at or below the apex.
+    ///
+    /// # Panics
+    /// Panics if the owner is outside the zone — that is a construction bug.
+    pub fn add(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.apex),
+            "record owner {} outside zone {}",
+            record.name,
+            self.apex
+        );
+        self.serial = self.serial.wrapping_add(1);
+        let key = (record.name.clone(), record.rtype());
+        let set = self.records.entry(key).or_default();
+        if !set.contains(&record) {
+            set.push(record);
+        }
+    }
+
+    /// Remove all records of `rtype` at `owner`. Returns how many went away.
+    pub fn remove(&mut self, owner: &Name, rtype: RecordType) -> usize {
+        self.serial = self.serial.wrapping_add(1);
+        self.records.remove(&(owner.clone(), rtype)).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// The RRset of `rtype` at `owner`, if any.
+    pub fn get(&self, owner: &Name, rtype: RecordType) -> &[Record] {
+        self.records
+            .get(&(owner.clone(), rtype))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether any record exists at `owner` (of any type).
+    pub fn name_exists(&self, owner: &Name) -> bool {
+        self.records
+            .range((owner.clone(), RecordType::A)..)
+            .take_while(|((n, _), _)| n == owner)
+            .next()
+            .is_some()
+            || self
+                .records
+                .keys()
+                .any(|(n, _)| n.is_strict_subdomain_of(owner))
+    }
+
+    /// Iterate over every record in the zone.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flatten()
+    }
+
+    /// Total record count.
+    pub fn len(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// True when the zone holds only its SOA.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// The zone's SOA record.
+    pub fn soa(&self) -> &Record {
+        &self.get(&self.apex, RecordType::Soa)[0]
+    }
+
+    /// Answer a question authoritatively from this zone.
+    ///
+    /// Implements the RFC 1034 §4.3.2 essentials: exact-match answers,
+    /// CNAME chasing within the zone, delegation referrals at NS cuts below
+    /// the apex, NODATA and NXDOMAIN distinctions.
+    pub fn answer(&self, q: &Question) -> ZoneAnswer {
+        if !q.qname.is_subdomain_of(&self.apex) {
+            return ZoneAnswer::NotInZone;
+        }
+        // Check for a delegation cut strictly between apex and qname.
+        let qlabels = q.qname.label_count();
+        let alabels = self.apex.label_count();
+        // Walk from just below the apex toward the qname so the delegation
+        // cut closest to the apex wins (RFC 1034 top-down matching).
+        for take in alabels + 1..=qlabels {
+            let cut = match q.qname.suffix(take) {
+                Some(c) => c,
+                None => continue,
+            };
+            // The apex itself holding NS is not a delegation; and NS at the
+            // qname for an NS query is an answer, not a referral.
+            if cut == q.qname && q.qtype == RecordType::Ns {
+                continue;
+            }
+            let ns = self.get(&cut, RecordType::Ns);
+            if !ns.is_empty() {
+                let mut glue = Vec::new();
+                for r in ns {
+                    if let RData::Ns(target) = &r.rdata {
+                        glue.extend(self.get(target, RecordType::A).iter().cloned());
+                    }
+                }
+                return ZoneAnswer::Delegation { ns: ns.to_vec(), glue };
+            }
+        }
+        // Exact match.
+        let mut chain: Vec<Record> = Vec::new();
+        let mut owner = q.qname.clone();
+        for _ in 0..8 {
+            let direct = self.get(&owner, q.qtype);
+            if !direct.is_empty() && q.qtype != RecordType::Any {
+                chain.extend(direct.iter().cloned());
+                return ZoneAnswer::Records(chain);
+            }
+            if q.qtype == RecordType::Any {
+                let all: Vec<Record> = self
+                    .records
+                    .range((owner.clone(), RecordType::A)..)
+                    .take_while(|((n, _), _)| *n == owner)
+                    .flat_map(|(_, v)| v.iter().cloned())
+                    .collect();
+                if !all.is_empty() {
+                    chain.extend(all);
+                    return ZoneAnswer::Records(chain);
+                }
+            }
+            let cname = self.get(&owner, RecordType::Cname);
+            if let Some(c) = cname.first() {
+                if q.qtype == RecordType::Cname {
+                    chain.push(c.clone());
+                    return ZoneAnswer::Records(chain);
+                }
+                chain.push(c.clone());
+                if let RData::Cname(target) = &c.rdata {
+                    if target.is_subdomain_of(&self.apex) {
+                        owner = target.clone();
+                        continue;
+                    }
+                }
+                // CNAME points outside the zone: return what we have.
+                return ZoneAnswer::Records(chain);
+            }
+            break;
+        }
+        if !chain.is_empty() {
+            return ZoneAnswer::Records(chain);
+        }
+        if self.name_exists(&q.qname) {
+            ZoneAnswer::NoData
+        } else {
+            ZoneAnswer::NxDomain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a(owner: &str, ip: [u8; 4]) -> Record {
+        Record::new(n(owner), 300, RData::A(Ipv4Addr::from(ip)))
+    }
+
+    fn zone() -> Zone {
+        let mut z = Zone::new(n("example.com"));
+        z.add(a("example.com", [203, 0, 113, 1]));
+        z.add(a("www.example.com", [203, 0, 113, 2]));
+        z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com"))));
+        z.add(Record::new(n("ext.example.com"), 300, RData::Cname(n("cdn.other.net"))));
+        z.add(Record::new(n("sub.example.com"), 3600, RData::Ns(n("ns1.sub.example.com"))));
+        z.add(a("ns1.sub.example.com", [198, 51, 100, 9]));
+        z.add(Record::new(n("example.com"), 300, RData::txt_from_str("v=spf1 -all")));
+        z
+    }
+
+    #[test]
+    fn exact_answer() {
+        let z = zone();
+        match z.answer(&Question::new(n("www.example.com"), RecordType::A)) {
+            ZoneAnswer::Records(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apex_txt_answer() {
+        let z = zone();
+        match z.answer(&Question::new(n("example.com"), RecordType::Txt)) {
+            ZoneAnswer::Records(rs) => assert_eq!(rs[0].rdata.txt_joined().unwrap(), "v=spf1 -all"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_is_chased_within_zone() {
+        let z = zone();
+        match z.answer(&Question::new(n("alias.example.com"), RecordType::A)) {
+            ZoneAnswer::Records(rs) => {
+                assert_eq!(rs.len(), 2);
+                assert!(matches!(rs[0].rdata, RData::Cname(_)));
+                assert!(matches!(rs[1].rdata, RData::A(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_cname_returned_alone() {
+        let z = zone();
+        match z.answer(&Question::new(n("ext.example.com"), RecordType::A)) {
+            ZoneAnswer::Records(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert!(matches!(rs[0].rdata, RData::Cname(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delegation_referral_with_glue() {
+        let z = zone();
+        match z.answer(&Question::new(n("deep.sub.example.com"), RecordType::A)) {
+            ZoneAnswer::Delegation { ns, glue } => {
+                assert_eq!(ns.len(), 1);
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].rdata.as_a().unwrap(), Ipv4Addr::new(198, 51, 100, 9));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_query_at_cut_is_referral_for_children_answer_for_cut() {
+        let z = zone();
+        // Query for NS at the cut itself: answered from the zone (it is the
+        // delegation data, but served as the answer to an explicit NS query).
+        match z.answer(&Question::new(n("sub.example.com"), RecordType::Ns)) {
+            ZoneAnswer::Records(rs) => assert_eq!(rs.len(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A query below the cut refers.
+        assert!(matches!(
+            z.answer(&Question::new(n("x.sub.example.com"), RecordType::A)),
+            ZoneAnswer::Delegation { .. }
+        ));
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let z = zone();
+        assert_eq!(z.answer(&Question::new(n("www.example.com"), RecordType::Mx)), ZoneAnswer::NoData);
+        assert_eq!(z.answer(&Question::new(n("nope.example.com"), RecordType::A)), ZoneAnswer::NxDomain);
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata() {
+        let mut z = Zone::new(n("example.com"));
+        z.add(a("a.b.example.com", [203, 0, 113, 9]));
+        assert_eq!(z.answer(&Question::new(n("b.example.com"), RecordType::A)), ZoneAnswer::NoData);
+    }
+
+    #[test]
+    fn out_of_zone() {
+        let z = zone();
+        assert_eq!(z.answer(&Question::new(n("other.net"), RecordType::A)), ZoneAnswer::NotInZone);
+    }
+
+    #[test]
+    fn any_query_returns_all_types() {
+        let z = zone();
+        match z.answer(&Question::new(n("example.com"), RecordType::Any)) {
+            ZoneAnswer::Records(rs) => assert!(rs.len() >= 3), // SOA + A + TXT
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_dedupes_and_bumps_serial() {
+        let mut z = Zone::new(n("example.com"));
+        let s0 = z.serial();
+        z.add(a("example.com", [1, 2, 3, 4]));
+        z.add(a("example.com", [1, 2, 3, 4]));
+        assert_eq!(z.get(&n("example.com"), RecordType::A).len(), 1);
+        assert!(z.serial() > s0);
+    }
+
+    #[test]
+    fn remove_records() {
+        let mut z = zone();
+        assert_eq!(z.remove(&n("www.example.com"), RecordType::A), 1);
+        assert_eq!(z.answer(&Question::new(n("www.example.com"), RecordType::A)), ZoneAnswer::NxDomain);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn out_of_bailiwick_add_panics() {
+        let mut z = Zone::new(n("example.com"));
+        z.add(a("other.net", [1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn soa_accessible() {
+        let z = zone();
+        assert!(matches!(z.soa().rdata, RData::Soa { .. }));
+    }
+}

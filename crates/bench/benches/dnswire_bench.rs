@@ -1,0 +1,65 @@
+//! Wire-format microbenchmarks: encode/decode throughput for typical
+//! query and response messages, with and without compression wins.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::{Message, Name, Question, RData, Rcode, Record, RecordType};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn sample_query() -> Message {
+    Message::query(0x1234, Question::new(n("www.example.com"), RecordType::A))
+}
+
+fn sample_response(answers: usize) -> Message {
+    let q = sample_query();
+    let mut m = Message::response_to(&q, Rcode::NoError);
+    m.flags.authoritative = true;
+    for i in 0..answers {
+        m.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, (i % 250) as u8)),
+        ));
+    }
+    m.authorities.push(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
+    m.additionals.push(Record::new(n("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(198, 51, 100, 1))));
+    m
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    let query = sample_query();
+    let small = sample_response(1);
+    let large = sample_response(20);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("query", |b| b.iter(|| black_box(&query).encode().unwrap()));
+    g.bench_function("response_1a", |b| b.iter(|| black_box(&small).encode().unwrap()));
+    g.bench_function("response_20a", |b| b.iter(|| black_box(&large).encode().unwrap()));
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    let query = sample_query().encode().unwrap();
+    let small = sample_response(1).encode().unwrap();
+    let large = sample_response(20).encode().unwrap();
+    g.throughput(Throughput::Bytes(large.len() as u64));
+    g.bench_function("query", |b| b.iter(|| Message::decode(black_box(&query)).unwrap()));
+    g.bench_function("response_1a", |b| b.iter(|| Message::decode(black_box(&small)).unwrap()));
+    g.bench_function("response_20a", |b| b.iter(|| Message::decode(black_box(&large)).unwrap()));
+    g.finish();
+}
+
+fn bench_truncation(c: &mut Criterion) {
+    let big = sample_response(60);
+    c.bench_function("encode_truncated_512", |b| {
+        b.iter(|| black_box(&big).encode_truncated(512).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_truncation);
+criterion_main!(benches);

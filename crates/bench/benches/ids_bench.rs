@@ -1,0 +1,66 @@
+//! IDS and sandbox benchmarks: rule-engine scan throughput and full
+//! sandbox corpus evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode, Throughput};
+use intel::IdsEngine;
+use simnet::{Datagram, Disposition, Endpoint, FlowRecord, Proto, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use worldgen::{World, WorldConfig};
+
+fn synthetic_flows(count: usize) -> Vec<FlowRecord> {
+    (0..count)
+        .map(|i| {
+            let payload = if i % 10 == 0 {
+                format!("TRJ-BEACON id={i}").into_bytes()
+            } else {
+                format!("GET /index-{i} HTTP/1.1").into_bytes()
+            };
+            let d = Datagram::tcp(
+                Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 50_000),
+                Endpoint::new(Ipv4Addr::new(66, 0, (i / 250) as u8, (i % 250) as u8), 443),
+                payload,
+            );
+            FlowRecord {
+                at: SimTime(i as u64),
+                src: d.src,
+                dst: d.dst,
+                proto: d.proto,
+                len: d.payload.len(),
+                payload: d.payload,
+                disposition: Disposition::Delivered,
+            }
+        })
+        .collect()
+}
+
+fn bench_ids_scan(c: &mut Criterion) {
+    let ids = IdsEngine::standard_ruleset();
+    let flows = synthetic_flows(10_000);
+    let mut g = c.benchmark_group("ids");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    g.bench_function("scan_10k_flows", |b| b.iter(|| black_box(ids.scan(&flows))));
+    g.finish();
+}
+
+fn bench_sandbox_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sandbox");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("run_world_corpus", |b| {
+        b.iter(|| {
+            let mut world = World::generate(WorldConfig::small());
+            let ids = IdsEngine::standard_ruleset();
+            let sandbox = world.sandbox;
+            let samples = world.samples.clone();
+            let mut alerts = 0usize;
+            for s in &samples {
+                alerts += sandbox.run(&mut world.net, &ids, s).alerts.len();
+            }
+            black_box(alerts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ids_scan, bench_sandbox_corpus);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Pipeline-scale benchmarks: world generation, the classification stage
+//! in isolation, and the full URHunter pipeline on the test-sized world.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use std::hint::black_box;
+use urhunter::{classify_all, run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worldgen");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("generate_small", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::small())))
+    });
+    g.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // Pre-collect once, then benchmark pure classification.
+    let mut world = World::generate(WorldConfig::small());
+    let out = run(&mut world, &HunterConfig::fast());
+    let cfg = urhunter::ClassifyConfig::default();
+    c.bench_function("classify_collected_urs", |b| {
+        b.iter(|| {
+            black_box(classify_all(
+                &out.collected,
+                &out.correct_db,
+                &out.protective_db,
+                &world.db,
+                &world.pdns,
+                &cfg,
+            ))
+        })
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("full_small_world", |b| {
+        b.iter(|| {
+            let mut world = World::generate(WorldConfig::small());
+            black_box(run(&mut world, &HunterConfig::fast()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_world_generation, bench_classification, bench_full_pipeline);
+criterion_main!(benches);

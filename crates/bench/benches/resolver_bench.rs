@@ -1,0 +1,79 @@
+//! Resolution benchmarks over the simulated fabric: cold iterative
+//! resolution (root → TLD → auth, incl. out-of-bailiwick NS lookups) vs
+//! warm cache hits, and direct authoritative queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnswire::RecordType;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use worldgen::{World, WorldConfig};
+
+fn bench_direct_authoritative(c: &mut Criterion) {
+    let mut world = World::generate(WorldConfig::small());
+    let dark = world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]].clone();
+    let ns_ip = world.providers[dark.provider].borrow().nameservers()[0].1;
+    let client = Ipv4Addr::new(10, 60, 0, 1);
+    let mut id = 0u16;
+    c.bench_function("direct_ur_query", |b| {
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            black_box(authdns::dns_query(
+                &mut world.net,
+                client,
+                ns_ip,
+                &dark.domain,
+                RecordType::A,
+                id,
+            ))
+        })
+    });
+}
+
+fn bench_recursive(c: &mut Criterion) {
+    let mut world = World::generate(WorldConfig::small());
+    let resolver = world.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
+    let domains: Vec<_> = world.tranco.domains().to_vec();
+    let client = Ipv4Addr::new(10, 60, 0, 2);
+    let mut i = 0usize;
+    // First query per domain is cold; repeats hit the resolver cache.
+    c.bench_function("recursive_query_mixed_cache", |b| {
+        b.iter(|| {
+            i += 1;
+            let d = &domains[i % domains.len()];
+            black_box(authdns::dns_query(
+                &mut world.net,
+                client,
+                resolver,
+                d,
+                RecordType::A,
+                (i % 60_000) as u16,
+            ))
+        })
+    });
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let mut world = World::generate(WorldConfig::small());
+    let resolver = world.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
+    let domain = world.tranco.domains()[0].clone();
+    let client = Ipv4Addr::new(10, 60, 0, 3);
+    // Prime the cache.
+    let _ = authdns::dns_query(&mut world.net, client, resolver, &domain, RecordType::A, 1);
+    let mut id = 10u16;
+    c.bench_function("recursive_query_warm", |b| {
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            black_box(authdns::dns_query(
+                &mut world.net,
+                client,
+                resolver,
+                &domain,
+                RecordType::A,
+                id,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_direct_authoritative, bench_recursive, bench_warm_cache);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Design-choice ablations over the live pipeline:
+//!   * classification conditions on/off (false-positive pressure),
+//!   * IDS severity threshold sweep,
+//!   * open-resolver sample size sweep (correct-record coverage).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation
+//! ```
+
+use intel::Severity;
+use urhunter::{run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+fn main() {
+    println!("== classification-condition ablation (suspicious / malicious counts) ==");
+    let toggles: [(&str, fn(&mut urhunter::ClassifyConfig)); 7] = [
+        ("baseline", |_| {}),
+        ("no IP subset", |c| c.use_ip_subset = false),
+        ("no AS subset", |c| c.use_as_subset = false),
+        ("no geo subset", |c| c.use_geo_subset = false),
+        ("no cert subset", |c| c.use_cert_subset = false),
+        ("no passive DNS", |c| c.use_pdns = false),
+        ("no HTTP keywords", |c| c.use_http_exclusion = false),
+    ];
+    for (label, toggle) in toggles {
+        let mut world = World::generate(WorldConfig::small());
+        let mut cfg = HunterConfig::fast();
+        toggle(&mut cfg.classify);
+        let out = run(&mut world, &cfg);
+        let t = out.report.totals;
+        println!(
+            "  {label:<18} total={:<6} correct={:<6} suspicious={:<6} malicious={:<5} share={:.1}%",
+            t.total,
+            t.correct,
+            t.suspicious(),
+            t.malicious,
+            100.0 * t.malicious_share()
+        );
+    }
+
+    println!("\n== IDS severity threshold sweep ==");
+    for (label, threshold) in
+        [("low (connectivity counts!)", Severity::Low), ("medium (paper)", Severity::Medium), ("high", Severity::High)]
+    {
+        let mut world = World::generate(WorldConfig::small());
+        let mut cfg = HunterConfig::fast();
+        cfg.analyze.severity_threshold = threshold;
+        let out = run(&mut world, &cfg);
+        println!(
+            "  threshold {label:<26} malicious URs={:<5} malicious IPs={}",
+            out.report.totals.malicious,
+            out.analysis.evidence.len()
+        );
+    }
+
+    println!("\n== open-resolver sample-size sweep (correct-record coverage) ==");
+    for k in [1usize, 2, 5, 10] {
+        let mut world = World::generate(WorldConfig::small());
+        let mut cfg = HunterConfig::fast();
+        cfg.collect.resolvers_per_domain = k;
+        let out = run(&mut world, &cfg);
+        let t = out.report.totals;
+        println!(
+            "  {k:>2} resolvers/domain  correct={:<6} suspicious={:<6} malicious={}",
+            t.correct,
+            t.suspicious(),
+            t.malicious
+        );
+    }
+
+    println!("\n== seed sweep (stability of the headline share) ==");
+    for seed in [1u64, 7, 42, 1337, 9001] {
+        let mut world = World::generate(WorldConfig::small().with_seed(seed));
+        let out = run(&mut world, &HunterConfig::fast());
+        println!(
+            "  seed {seed:<6} suspicious={:<6} malicious share={:.1}%",
+            out.report.totals.suspicious(),
+            100.0 * out.report.totals.malicious_share()
+        );
+    }
+}

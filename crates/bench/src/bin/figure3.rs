@@ -1,0 +1,46 @@
+//! Regenerate Figure 3 (a–d): the malicious-IP analysis panels.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figure3
+//! ```
+
+fn main() {
+    let (_world, out) = bench::experiment_run();
+    println!("{}", out.report.render_figure3());
+
+    println!("== shape vs paper ==");
+    let total: usize = out.report.fig3a.values().sum();
+    for (k, paper_pct) in bench::paper::FIG3A {
+        let v = out.report.fig3a.get(k).copied().unwrap_or(0);
+        bench::compare(k, 100.0 * v as f64 / total.max(1) as f64, paper_pct);
+    }
+    println!();
+    let flagged: usize = out.report.fig3b.values().sum();
+    for (k, paper_pct) in bench::paper::FIG3B {
+        let v = out.report.fig3b.get(k).copied().unwrap_or(0);
+        bench::compare(k, 100.0 * v as f64 / flagged.max(1) as f64, paper_pct);
+    }
+    println!();
+    let alerts: usize = out.report.fig3c.values().sum();
+    for (k, paper_pct) in bench::paper::FIG3C {
+        let v = out
+            .report
+            .fig3c
+            .iter()
+            .find(|(c, _)| c.to_string() == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        bench::compare(k, 100.0 * v as f64 / alerts.max(1) as f64, paper_pct);
+    }
+    println!();
+    for (k, paper_pct) in bench::paper::FIG3D {
+        let v = out
+            .report
+            .fig3d
+            .iter()
+            .find(|(t, _)| t.to_string() == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        bench::compare(k, 100.0 * v as f64 / flagged.max(1) as f64, paper_pct);
+    }
+}

@@ -1,0 +1,54 @@
+//! Two-epoch longitudinal measurement: run the pipeline, let the world
+//! evolve (~8 months, matching the paper's April→December 2022 gap), run
+//! again, and report UR churn.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin longitudinal
+//! ```
+
+use urhunter::{run, HunterConfig, UrCategory};
+use worldgen::{World, WorldConfig};
+
+fn main() {
+    let cfg = HunterConfig::fast();
+    let mut world = World::generate(WorldConfig::default_scale());
+
+    println!("== epoch 1 (day {}) ==", world.config.today);
+    let e1 = run(&mut world, &cfg);
+    println!("{}", e1.report.render_summary());
+
+    // ~8 months later: 35% of campaigns abandoned, a fresh wave planted.
+    world.evolve(240, world.config.attack_campaigns / 3, 0.35, 0xD15C);
+    println!("\n== epoch 2 (day {}) ==", world.config.today);
+    let e2 = run(&mut world, &cfg);
+    println!("{}", e2.report.render_summary());
+
+    let key = |u: &urhunter::ClassifiedUr| {
+        (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype)
+    };
+    let set = |out: &urhunter::RunOutput, cat: UrCategory| {
+        out.classified
+            .iter()
+            .filter(|u| u.category == cat)
+            .map(key)
+            .collect::<std::collections::HashSet<_>>()
+    };
+    for cat in [UrCategory::Malicious, UrCategory::Unknown] {
+        let a = set(&e1, cat);
+        let b = set(&e2, cat);
+        println!(
+            "\n{cat:?} UR churn: epoch1={} epoch2={} persisted={} disappeared={} new={}",
+            a.len(),
+            b.len(),
+            a.intersection(&b).count(),
+            a.difference(&b).count(),
+            b.difference(&a).count()
+        );
+    }
+    println!(
+        "\npaper echo: \"not all of the URs related to the analyzed malware families can be\n\
+         resolved [later], the masquerading records can still be resolved at the time of\n\
+         writing\" — the case-study URs persist across both epochs here, the generic\n\
+         campaign population churns."
+    );
+}

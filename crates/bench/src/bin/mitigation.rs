@@ -1,0 +1,84 @@
+//! §6 mitigation evaluation: re-run the full pipeline after providers
+//! adopt the disclosed fixes, and quantify the drop in malicious URs.
+//!
+//! Modeled on the paper's post-disclosure observations: Tencent fully
+//! adopted NS-delegation verification, Alibaba partially adopted the TXT
+//! challenge, Cloudflare expanded its reserved list. We additionally show
+//! the counterfactual of *every* provider verifying ownership.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin mitigation
+//! ```
+
+use authdns::VerificationPolicy;
+use urhunter::{run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+fn summarize(label: &str, out: &urhunter::RunOutput) {
+    let t = out.report.totals;
+    println!(
+        "{label:<28} suspicious={:<6} malicious={:<6} ({:.1}% of suspicious)",
+        t.suspicious(),
+        t.malicious,
+        100.0 * t.malicious_share()
+    );
+    for name in ["Cloudflare", "Tencent Cloud", "Alibaba Cloud", "ClouDNS"] {
+        if let Some(row) = out.report.providers.iter().find(|p| p.provider == name) {
+            println!(
+                "    {name:<16} URs={:<6} malicious={:<5} unknown={}",
+                row.total, row.malicious, row.unknown
+            );
+        }
+    }
+}
+
+fn main() {
+    let cfg = HunterConfig::fast();
+
+    println!("== baseline (pre-disclosure policies) ==");
+    let mut base_world = World::generate(WorldConfig::default_scale());
+    let base = run(&mut base_world, &cfg);
+    summarize("baseline", &base);
+
+    println!("\n== as-disclosed mitigations (Tencent NS-check, Alibaba TXT, Cloudflare blacklist) ==");
+    let mut world = World::generate(WorldConfig::default_scale());
+    if let Some(i) = world.provider_index("Tencent Cloud") {
+        world.providers[i].borrow_mut().policy_mut().verification =
+            VerificationPolicy::NsDelegation;
+    }
+    if let Some(i) = world.provider_index("Alibaba Cloud") {
+        world.providers[i].borrow_mut().policy_mut().verification =
+            VerificationPolicy::TxtChallenge;
+    }
+    if let Some(i) = world.provider_index("Cloudflare") {
+        world.providers[i].borrow_mut().policy_mut().reserved = world.tranco.top(50).to_vec();
+    }
+    let mitigated = run(&mut world, &cfg);
+    summarize("as-disclosed", &mitigated);
+
+    println!("\n== counterfactual: every provider verifies delegation ==");
+    let mut strict_world = World::generate(WorldConfig::default_scale());
+    for p in &strict_world.providers {
+        p.borrow_mut().policy_mut().verification = VerificationPolicy::NsDelegation;
+    }
+    let strict = run(&mut strict_world, &cfg);
+    summarize("universal verification", &strict);
+
+    let drop_pct = |after: usize, before: usize| {
+        if before == 0 { 0.0 } else { 100.0 * (before - after.min(before)) as f64 / before as f64 }
+    };
+    println!("\nmalicious-UR reduction:");
+    println!(
+        "  as-disclosed:           {:.1}%",
+        drop_pct(mitigated.report.totals.malicious, base.report.totals.malicious)
+    );
+    println!(
+        "  universal verification: {:.1}%  (URs disappear entirely; residual sources are\n\
+         \u{20}   misdirected scans of still-undelegated confusables)",
+        drop_pct(strict.report.totals.malicious, base.report.totals.malicious)
+    );
+    println!(
+        "\npaper: \"Cloudflare and Alibaba are still exploitable, but available renowned\n\
+         domains become fewer\" — the partial mitigations reduce but do not eliminate."
+    );
+}

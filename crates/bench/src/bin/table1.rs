@@ -1,0 +1,33 @@
+//! Regenerate Table 1: overview of suspicious undelegated records.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table1
+//! ```
+
+fn main() {
+    let (world, out) = bench::experiment_run();
+    println!("{}", out.report.render_table1());
+    println!("{}", out.report.render_summary());
+
+    let t = out.report.totals;
+    println!("\n== shape vs paper ==");
+    bench::compare("malicious share", 100.0 * t.malicious_share(), 100.0 * bench::paper::MALICIOUS_SHARE);
+    let total_row = &out.report.table1[2];
+    let domain_share = 100.0 * total_row.domains_malicious as f64 / world.tranco.len() as f64;
+    bench::compare("affected domains", domain_share, 100.0 * bench::paper::DOMAIN_SHARE);
+    let (email, all_txt) = out.report.txt_email_related;
+    if all_txt > 0 {
+        bench::compare(
+            "email-related TXT",
+            100.0 * email as f64 / all_txt as f64,
+            100.0 * bench::paper::TXT_EMAIL_SHARE,
+        );
+    }
+    println!(
+        "\nscale note: this world has {} target domains, {} selected nameservers, {} providers \
+         (the paper scanned 2K domains / 8,941 NS / 400+ providers); compare shapes, not magnitudes.",
+        world.tranco.len(),
+        out.nameservers.len(),
+        world.provider_meta.len()
+    );
+}

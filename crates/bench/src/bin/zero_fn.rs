@@ -1,0 +1,57 @@
+//! Regenerate the §4.2 evaluation: the exclusion logic labels zero
+//! delegated records suspicious, plus a per-condition ablation showing
+//! each Appendix-B condition's contribution.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin zero_fn
+//! ```
+
+use urhunter::{evaluate_false_negatives, run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+fn main() {
+    let mut world = World::generate(WorldConfig::default_scale());
+    let cfg = HunterConfig::fast();
+    let out = run(&mut world, &cfg);
+
+    let baseline = evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
+    println!("§4.2 false-negative evaluation (delegated records as input)");
+    println!("  all conditions enabled: {baseline} suspicious (paper: 0)\n");
+
+    println!("ablation: disable one Appendix-B condition at a time");
+    let toggles: [(&str, fn(&mut urhunter::ClassifyConfig)); 6] = [
+        ("no IP subset", |c| c.use_ip_subset = false),
+        ("no AS subset", |c| c.use_as_subset = false),
+        ("no geo subset", |c| c.use_geo_subset = false),
+        ("no cert subset", |c| c.use_cert_subset = false),
+        ("no passive DNS", |c| c.use_pdns = false),
+        ("no HTTP keywords", |c| c.use_http_exclusion = false),
+    ];
+    for (label, toggle) in toggles {
+        let mut ablated = cfg.clone();
+        toggle(&mut ablated.classify);
+        let count =
+            evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &ablated);
+        println!("  {label:<18} -> {count} suspicious delegated records");
+    }
+
+    println!("\nablation: ONLY one condition enabled at a time");
+    for (label, keep) in [
+        ("IP subset only", 0usize),
+        ("AS subset only", 1),
+        ("geo subset only", 2),
+        ("cert subset only", 3),
+        ("passive DNS only", 4),
+    ] {
+        let mut ablated = cfg.clone();
+        ablated.classify.use_ip_subset = keep == 0;
+        ablated.classify.use_as_subset = keep == 1;
+        ablated.classify.use_geo_subset = keep == 2;
+        ablated.classify.use_cert_subset = keep == 3;
+        ablated.classify.use_pdns = keep == 4;
+        ablated.classify.use_http_exclusion = false;
+        let count =
+            evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &ablated);
+        println!("  {label:<18} -> {count} suspicious delegated records");
+    }
+}

@@ -1,0 +1,150 @@
+//! `urhunter` — command-line front end for the measurement pipeline.
+//!
+//! ```text
+//! urhunter [--scale small|default] [--seed N] [--report summary|table1|figure2|figure3|table2|all]
+//!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
+//! ```
+//!
+//! Examples:
+//!   urhunter --report all
+//!   urhunter --scale default --seed 7 --report table1
+//!   urhunter --extended --payload-match --pcap sandbox.pcap
+
+use std::process::ExitCode;
+use urhunter::{audit_table2, evaluate_false_negatives, run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+struct Args {
+    scale: String,
+    seed: Option<u64>,
+    report: String,
+    extended: bool,
+    expand_pdns: bool,
+    payload_match: bool,
+    ethics: bool,
+    pcap: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: urhunter [--scale small|default] [--seed N] \
+         [--report summary|table1|figure2|figure3|table2|all]\n\
+         \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: "small".to_string(),
+        seed: None,
+        report: "summary".to_string(),
+        extended: false,
+        expand_pdns: false,
+        payload_match: false,
+        ethics: false,
+        pcap: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => args.scale = it.next().unwrap_or_else(|| usage()),
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--report" => args.report = it.next().unwrap_or_else(|| usage()),
+            "--extended" => args.extended = true,
+            "--expand-pdns" => args.expand_pdns = true,
+            "--payload-match" => args.payload_match = true,
+            "--ethics" => args.ethics = true,
+            "--pcap" => args.pcap = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut config = match args.scale.as_str() {
+        "small" => WorldConfig::small(),
+        "default" => WorldConfig::default_scale(),
+        other => {
+            eprintln!("unknown scale: {other}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(seed) = args.seed {
+        config = config.with_seed(seed);
+    }
+    let mut hunter = if args.ethics {
+        HunterConfig::paper_faithful()
+    } else {
+        HunterConfig::fast()
+    };
+    if args.extended {
+        hunter.collect.query_types = HunterConfig::extended().collect.query_types;
+    }
+    if args.expand_pdns {
+        hunter = hunter.with_pdns_expansion();
+    }
+    if args.payload_match {
+        hunter = hunter.with_payload_matching();
+    }
+
+    eprintln!("generating world (scale={}, seed={})...", args.scale, config.seed);
+    let mut world = World::generate(config);
+    eprintln!(
+        "scanning {} nameservers x {} targets...",
+        world.nameservers.len(),
+        world.scan_targets().len()
+    );
+    let out = run(&mut world, &hunter);
+
+    match args.report.as_str() {
+        "summary" => println!("{}", out.report.render_summary()),
+        "table1" => print!("{}", out.report.render_table1()),
+        "figure2" => print!("{}", out.report.render_figure2(5)),
+        "figure3" => print!("{}", out.report.render_figure3()),
+        "table2" => {
+            for row in audit_table2(&mut world) {
+                println!("{}", row.render());
+            }
+        }
+        "all" => {
+            println!("{}\n", out.report.render_summary());
+            print!("{}\n", out.report.render_table1());
+            print!("{}\n", out.report.render_figure2(5));
+            print!("{}", out.report.render_figure3());
+            let fn_count = evaluate_false_negatives(
+                &mut world,
+                &out.correct_db,
+                &out.protective_db,
+                &hunter,
+            );
+            println!("\nfalse negatives on delegated records: {fn_count}");
+        }
+        other => {
+            eprintln!("unknown report: {other}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = args.pcap {
+        // The capture holds the sandbox phase (scan traffic is untraced).
+        let bytes = simnet::pcap::to_pcap(world.net.trace.records(), false);
+        match std::fs::write(&path, &bytes) {
+            Ok(()) => eprintln!("wrote {} bytes of sandbox capture to {path}", bytes.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

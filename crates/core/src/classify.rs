@@ -1,0 +1,468 @@
+//! Suspicious-record determination (paper §4.2 + Appendix B).
+//!
+//! A UR is excluded as *correct* when any of five uniformity conditions
+//! holds (each attribute set must be non-empty — an attacker IP with no
+//! certificate must not vacuously "subset-match" the correct certificate
+//! set), or when its HTTP profile reveals a parked/redirect page.
+//! Protective records are excluded by exact match against the canary
+//! probe results. Everything left is *suspicious*.
+
+use crate::types::{
+    ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, ProtectiveDb, TxtCategory, UrCategory,
+};
+use dnswire::RecordType;
+use netdb::{NetDb, PageKind};
+use pdns::{Day, PassiveDns, SIX_YEARS_DAYS};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Which exclusion conditions are active — ablations toggle these.
+#[derive(Debug, Clone)]
+pub struct ClassifyConfig {
+    /// Appendix-B condition 1: IP subset.
+    pub use_ip_subset: bool,
+    /// Appendix-B condition 2: AS subset.
+    pub use_as_subset: bool,
+    /// Appendix-B condition 3: geo subset.
+    pub use_geo_subset: bool,
+    /// Appendix-B condition 4: certificate subset.
+    pub use_cert_subset: bool,
+    /// Appendix-B condition 5: passive-DNS membership.
+    pub use_pdns: bool,
+    /// HTTP-keyword parking/redirect exclusion.
+    pub use_http_exclusion: bool,
+    /// Day considered "today" for the passive-DNS window.
+    pub today: Day,
+    /// Lookback window for passive DNS.
+    pub pdns_window: u32,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            use_ip_subset: true,
+            use_as_subset: true,
+            use_geo_subset: true,
+            use_cert_subset: true,
+            use_pdns: true,
+            use_http_exclusion: true,
+            today: 2_500,
+            pdns_window: SIX_YEARS_DAYS,
+        }
+    }
+}
+
+/// Classify one UR into Correct / Protective / (pre-analysis) Unknown.
+///
+/// The malicious promotion happens later in [`mod@crate::analyze`]; this stage
+/// only separates suspicious records from explainable ones.
+pub fn classify_ur(
+    ur: &CollectedUr,
+    correct: &CorrectDb,
+    protective: &ProtectiveDb,
+    metadata: &NetDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> ClassifiedUr {
+    // Protective records first: they are the provider's own answers and
+    // must not be confused with customer data.
+    if protective.matches(ur) {
+        return ClassifiedUr {
+            ur: ur.clone(),
+            category: UrCategory::Protective,
+            correct_reason: None,
+            txt_category: txt_category_of(ur),
+            corresponding_ips: Vec::new(),
+            payload_matched: None,
+        };
+    }
+    match ur.key.rtype {
+        RecordType::A => classify_a(ur, correct, metadata, history, cfg),
+        RecordType::Txt => classify_txt(ur, correct, history, cfg),
+        RecordType::Mx => classify_mx(ur, correct, metadata, history, cfg),
+        _ => ClassifiedUr {
+            ur: ur.clone(),
+            category: UrCategory::Unknown,
+            correct_reason: None,
+            txt_category: None,
+            corresponding_ips: Vec::new(),
+            payload_matched: None,
+        },
+    }
+}
+
+fn txt_category_of(ur: &CollectedUr) -> Option<TxtCategory> {
+    if ur.key.rtype != RecordType::Txt {
+        return None;
+    }
+    ur.txt_strings().first().map(|t| TxtCategory::classify(t))
+}
+
+/// Non-empty-subset test.
+fn nonempty_subset<T: Eq + std::hash::Hash>(sub: &HashSet<T>, sup: &HashSet<T>) -> bool {
+    !sub.is_empty() && sub.is_subset(sup)
+}
+
+fn classify_a(
+    ur: &CollectedUr,
+    correct: &CorrectDb,
+    metadata: &NetDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> ClassifiedUr {
+    let ips = ur.a_ips();
+    let profile = correct.profile(&ur.key.domain);
+
+    let ip_set: HashSet<Ipv4Addr> = ips.iter().copied().collect();
+    let mut asns = HashSet::new();
+    let mut geos = HashSet::new();
+    let mut certs = HashSet::new();
+    for ip in &ips {
+        if let Some(a) = metadata.asn_of(*ip) {
+            asns.insert(a.asn);
+        }
+        if let Some(g) = metadata.geo_of(*ip) {
+            geos.insert((g.country, g.city));
+        }
+        if let Some(c) = metadata.cert_of(*ip) {
+            certs.insert(c.fingerprint);
+        }
+    }
+
+    let mut reason = None;
+    if cfg.use_ip_subset && nonempty_subset(&ip_set, &profile.ips) {
+        reason = Some(CorrectReason::IpSubset);
+    } else if cfg.use_as_subset && nonempty_subset(&asns, &profile.asns) {
+        reason = Some(CorrectReason::AsSubset);
+    } else if cfg.use_geo_subset && nonempty_subset(&geos, &profile.geos) {
+        reason = Some(CorrectReason::GeoSubset);
+    } else if cfg.use_cert_subset && nonempty_subset(&certs, &profile.certs) {
+        reason = Some(CorrectReason::CertSubset);
+    } else if cfg.use_pdns
+        && !ur.records.is_empty()
+        && ur.records.iter().all(|r| {
+            history.contains(&ur.key.domain, RecordType::A, &r.rdata, cfg.today, cfg.pdns_window)
+        })
+    {
+        reason = Some(CorrectReason::PassiveDns);
+    } else if cfg.use_http_exclusion {
+        // Parking/redirect keyword exclusion over the HTTP profiles of the
+        // UR's addresses.
+        let kinds: Vec<PageKind> =
+            ips.iter().filter_map(|ip| metadata.http_of(*ip).map(|h| h.kind)).collect();
+        if !kinds.is_empty() && kinds.iter().all(|k| *k == PageKind::Parking) {
+            reason = Some(CorrectReason::Parked);
+        } else if !kinds.is_empty() && kinds.iter().all(|k| *k == PageKind::Redirect) {
+            reason = Some(CorrectReason::Redirect);
+        }
+    }
+
+    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    ClassifiedUr {
+        ur: ur.clone(),
+        category,
+        correct_reason: reason,
+        txt_category: None,
+        corresponding_ips: ips,
+        payload_matched: None,
+    }
+}
+
+fn classify_txt(
+    ur: &CollectedUr,
+    correct: &CorrectDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> ClassifiedUr {
+    let texts = ur.txt_strings();
+    let profile = correct.profile(&ur.key.domain);
+    // Exact match against correct TXT records.
+    let mut reason = None;
+    if !texts.is_empty() && texts.iter().all(|t| profile.txts.contains(t)) {
+        reason = Some(CorrectReason::TxtExact);
+    } else if cfg.use_pdns
+        && !ur.records.is_empty()
+        && ur.records.iter().all(|r| {
+            history.contains(&ur.key.domain, RecordType::Txt, &r.rdata, cfg.today, cfg.pdns_window)
+        })
+    {
+        reason = Some(CorrectReason::PassiveDns);
+    }
+    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    // Corresponding IPs: addresses embedded in the TXT body (the sibling-A
+    // fallback is resolved at analysis time, when all URs are visible).
+    let mut embedded: Vec<Ipv4Addr> = Vec::new();
+    for t in &texts {
+        embedded.extend(intel::extract_ipv4s(t));
+    }
+    embedded.sort_unstable();
+    embedded.dedup();
+    ClassifiedUr {
+        ur: ur.clone(),
+        category,
+        correct_reason: reason,
+        txt_category: texts.first().map(|t| TxtCategory::classify(t)),
+        corresponding_ips: embedded,
+        payload_matched: None,
+    }
+}
+
+fn classify_mx(
+    ur: &CollectedUr,
+    correct: &CorrectDb,
+    metadata: &NetDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> ClassifiedUr {
+    let profile = correct.profile(&ur.key.domain);
+    // Exchange addresses gathered by the collection follow-up.
+    let ips: Vec<Ipv4Addr> = ur.aux_records.iter().filter_map(|r| r.rdata.as_a()).collect();
+    let rendered: Vec<String> = ur.records.iter().map(|r| r.rdata.to_string()).collect();
+
+    let mut reason = None;
+    if !rendered.is_empty() && rendered.iter().all(|m| profile.mxs.contains(m)) {
+        reason = Some(CorrectReason::MxExact);
+    } else if cfg.use_pdns
+        && !ur.records.is_empty()
+        && ur.records.iter().all(|r| {
+            history.contains(&ur.key.domain, RecordType::Mx, &r.rdata, cfg.today, cfg.pdns_window)
+        })
+    {
+        reason = Some(CorrectReason::PassiveDns);
+    } else if !ips.is_empty() {
+        // Apply the A-style uniformity conditions to the exchange hosts'
+        // addresses.
+        let ip_set: HashSet<Ipv4Addr> = ips.iter().copied().collect();
+        let mut asns = HashSet::new();
+        let mut geos = HashSet::new();
+        for ip in &ips {
+            if let Some(a) = metadata.asn_of(*ip) {
+                asns.insert(a.asn);
+            }
+            if let Some(g) = metadata.geo_of(*ip) {
+                geos.insert((g.country, g.city));
+            }
+        }
+        if cfg.use_ip_subset && nonempty_subset(&ip_set, &profile.ips) {
+            reason = Some(CorrectReason::IpSubset);
+        } else if cfg.use_as_subset && nonempty_subset(&asns, &profile.asns) {
+            reason = Some(CorrectReason::AsSubset);
+        } else if cfg.use_geo_subset && nonempty_subset(&geos, &profile.geos) {
+            reason = Some(CorrectReason::GeoSubset);
+        }
+    }
+    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    ClassifiedUr {
+        ur: ur.clone(),
+        category,
+        correct_reason: reason,
+        txt_category: None,
+        corresponding_ips: ips,
+        payload_matched: None,
+    }
+}
+
+/// Classify a whole batch.
+pub fn classify_all(
+    urs: &[CollectedUr],
+    correct: &CorrectDb,
+    protective: &ProtectiveDb,
+    metadata: &NetDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> Vec<ClassifiedUr> {
+    urs.iter()
+        .map(|ur| classify_ur(ur, correct, protective, metadata, history, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ProtectiveProfile, UrKey};
+    use dnswire::{Name, RData, Record};
+    use netdb::{CertInfo, GeoInfo, HttpProfile};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn a_ur(domain: &str, ns: &str, addrs: &[&str]) -> CollectedUr {
+        CollectedUr {
+            key: UrKey { ns_ip: ip(ns), domain: n(domain), rtype: RecordType::A },
+            records: addrs
+                .iter()
+                .map(|a| Record::new(n(domain), 60, RData::A(ip(a))))
+                .collect(),
+            aux_records: Vec::new(),
+            provider: "P".into(),
+            authoritative: true,
+            recursion_available: false,
+        }
+    }
+
+    fn txt_ur(domain: &str, ns: &str, text: &str) -> CollectedUr {
+        CollectedUr {
+            key: UrKey { ns_ip: ip(ns), domain: n(domain), rtype: RecordType::Txt },
+            records: vec![Record::new(n(domain), 60, RData::txt_from_str(text))],
+            aux_records: Vec::new(),
+            provider: "P".into(),
+            authoritative: true,
+            recursion_available: false,
+        }
+    }
+
+    struct Fixture {
+        correct: CorrectDb,
+        protective: ProtectiveDb,
+        metadata: NetDb,
+        history: PassiveDns,
+        cfg: ClassifyConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let mut correct = CorrectDb::default();
+        let mut profile = crate::types::DomainProfile::default();
+        profile.ips.insert(ip("30.0.0.10"));
+        profile.ips.insert(ip("30.0.0.11"));
+        profile.asns.insert(65_000);
+        profile.geos.insert((*b"US", 1));
+        profile.certs.insert(CertInfo::for_domain("site.com", "SimCA").fingerprint);
+        profile.txts.insert("v=spf1 ip4:30.0.0.10 -all".into());
+        correct.domains.insert(n("site.com"), profile);
+
+        let mut metadata = NetDb::new();
+        metadata.add_prefix("30.0.0.0/24".parse().unwrap(), 65_000, "Hosting");
+        metadata.add_prefix("40.0.0.0/24".parse().unwrap(), 64_900, "BulletProof");
+        for a in ["30.0.0.10", "30.0.0.11", "30.0.0.12"] {
+            metadata.set_geo(ip(a), GeoInfo::new("US", 1));
+            metadata.set_cert(ip(a), CertInfo::for_domain("site.com", "SimCA"));
+        }
+        metadata.set_geo(ip("40.0.0.10"), GeoInfo::new("RU", 7));
+        metadata.set_http(ip("60.0.0.10"), HttpProfile::parking());
+        metadata.set_http(ip("60.0.0.11"), HttpProfile::redirect("https://elsewhere"));
+
+        let mut protective = ProtectiveDb::default();
+        let mut pp = ProtectiveProfile::default();
+        pp.a_ips.insert(ip("20.0.255.1"));
+        protective.servers.insert(ip("20.0.0.1"), pp);
+
+        let mut history = PassiveDns::new();
+        history.observe(n("site.com"), RecordType::A, RData::A(ip("31.0.0.10")), 500, 2_000);
+
+        Fixture { correct, protective, metadata, history, cfg: ClassifyConfig::default() }
+    }
+
+    fn run(f: &Fixture, ur: &CollectedUr) -> ClassifiedUr {
+        classify_ur(ur, &f.correct, &f.protective, &f.metadata, &f.history, &f.cfg)
+    }
+
+    #[test]
+    fn exact_ip_match_is_correct() {
+        let f = fixture();
+        let c = run(&f, &a_ur("site.com", "20.0.0.1", &["30.0.0.10"]));
+        assert_eq!(c.category, UrCategory::Correct);
+        assert_eq!(c.correct_reason, Some(CorrectReason::IpSubset));
+    }
+
+    #[test]
+    fn same_as_different_ip_is_correct_via_as() {
+        let f = fixture();
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["30.0.0.12"]));
+        assert_eq!(c.category, UrCategory::Correct);
+        assert_eq!(c.correct_reason, Some(CorrectReason::AsSubset));
+    }
+
+    #[test]
+    fn past_delegation_is_correct_via_pdns() {
+        let f = fixture();
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["31.0.0.10"]));
+        assert_eq!(c.category, UrCategory::Correct);
+        assert_eq!(c.correct_reason, Some(CorrectReason::PassiveDns));
+    }
+
+    #[test]
+    fn parked_page_is_excluded() {
+        let f = fixture();
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["60.0.0.10"]));
+        assert_eq!(c.correct_reason, Some(CorrectReason::Parked));
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["60.0.0.11"]));
+        assert_eq!(c.correct_reason, Some(CorrectReason::Redirect));
+    }
+
+    #[test]
+    fn attacker_ur_stays_suspicious() {
+        let f = fixture();
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["40.0.0.10"]));
+        assert_eq!(c.category, UrCategory::Unknown);
+        assert!(c.correct_reason.is_none());
+        assert_eq!(c.corresponding_ips, vec![ip("40.0.0.10")]);
+    }
+
+    #[test]
+    fn empty_attribute_sets_never_vacuously_match() {
+        let f = fixture();
+        // 40.0.0.99 has AS (BulletProof) but no geo/cert; its AS is not in
+        // the correct set, and the empty cert set must not subset-match.
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["40.0.0.99"]));
+        assert_eq!(c.category, UrCategory::Unknown);
+    }
+
+    #[test]
+    fn protective_record_detected() {
+        let f = fixture();
+        let c = run(&f, &a_ur("anything.org", "20.0.0.1", &["20.0.255.1"]));
+        assert_eq!(c.category, UrCategory::Protective);
+    }
+
+    #[test]
+    fn txt_exact_match_correct() {
+        let f = fixture();
+        let c = run(&f, &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:30.0.0.10 -all"));
+        assert_eq!(c.category, UrCategory::Correct);
+        assert_eq!(c.correct_reason, Some(CorrectReason::TxtExact));
+        assert_eq!(c.txt_category, Some(TxtCategory::Spf));
+    }
+
+    #[test]
+    fn txt_spoofed_spf_is_suspicious_with_embedded_ips() {
+        let f = fixture();
+        let c = run(&f, &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:40.0.0.10 -all"));
+        assert_eq!(c.category, UrCategory::Unknown);
+        assert_eq!(c.corresponding_ips, vec![ip("40.0.0.10")]);
+        assert_eq!(c.txt_category, Some(TxtCategory::Spf));
+    }
+
+    #[test]
+    fn disabling_conditions_changes_outcome() {
+        let mut f = fixture();
+        f.cfg.use_as_subset = false;
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["30.0.0.12"]));
+        // without the AS condition, geo (US ⊆ {US}) still catches it
+        assert_eq!(c.correct_reason, Some(CorrectReason::GeoSubset));
+        f.cfg.use_geo_subset = false;
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["30.0.0.12"]));
+        // cert condition still catches it
+        assert_eq!(c.correct_reason, Some(CorrectReason::CertSubset));
+        f.cfg.use_cert_subset = false;
+        let c = run(&f, &a_ur("site.com", "20.0.0.5", &["30.0.0.12"]));
+        assert_eq!(c.category, UrCategory::Unknown);
+    }
+
+    #[test]
+    fn batch_classification_preserves_order() {
+        let f = fixture();
+        let urs = vec![
+            a_ur("site.com", "20.0.0.1", &["30.0.0.10"]),
+            a_ur("site.com", "20.0.0.1", &["40.0.0.10"]),
+        ];
+        let out = classify_all(&urs, &f.correct, &f.protective, &f.metadata, &f.history, &f.cfg);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].category, UrCategory::Correct);
+        assert_eq!(out[1].category, UrCategory::Unknown);
+    }
+}

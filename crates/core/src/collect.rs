@@ -1,0 +1,327 @@
+//! Response collection (paper §4.1): undelegated records from targeted
+//! nameservers, correct records from open resolvers and passive DNS, and
+//! protective records from canary probes.
+
+use crate::schedule::QueryScheduler;
+use crate::types::{CollectedUr, CorrectDb, DomainProfile, ProtectiveDb, UrKey};
+use dnswire::{Name, Rcode, RecordType};
+use simnet::Network;
+use std::net::Ipv4Addr;
+use worldgen::{NsInfo, World};
+
+/// Selection threshold: nameservers hosting at least this many top-1M
+/// sites are targeted (paper: 50).
+pub const NS_SELECTION_THRESHOLD: u32 = 50;
+
+/// Collection configuration.
+#[derive(Debug, Clone)]
+pub struct CollectConfig {
+    /// Source address of the scanner.
+    pub scanner_ip: Ipv4Addr,
+    /// Minimum hosted-site count for nameserver selection.
+    pub min_tail_sites: u32,
+    /// How many stable open resolvers to consult per domain.
+    pub resolvers_per_domain: usize,
+    /// Record types probed (paper: A and TXT).
+    pub query_types: Vec<RecordType>,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            scanner_ip: Ipv4Addr::new(10, 0, 0, 2),
+            min_tail_sites: NS_SELECTION_THRESHOLD,
+            resolvers_per_domain: 5,
+            query_types: vec![RecordType::A, RecordType::Txt],
+        }
+    }
+}
+
+/// Select target nameservers: those whose provider hosts at least
+/// `min_tail_sites` top-1M domains (paper: 8,941 servers over 400+
+/// providers survive this filter).
+pub fn select_nameservers(world: &World, min_tail_sites: u32) -> Vec<NsInfo> {
+    world
+        .nameservers
+        .iter()
+        .filter(|ns| ns.tail_hosted_sites >= min_tail_sites)
+        .cloned()
+        .collect()
+}
+
+/// Collect URs: query every selected nameserver for every target domain,
+/// excluding pairs where the domain is exactly delegated to that server.
+/// Only NOERROR responses with answers yield URs.
+pub fn collect_urs(
+    net: &mut Network,
+    world_registry: &authdns::DelegationRegistry,
+    nameservers: &[NsInfo],
+    targets: &[Name],
+    cfg: &CollectConfig,
+    scheduler: &mut QueryScheduler,
+) -> Vec<CollectedUr> {
+    let mut tasks: Vec<(usize, usize, RecordType)> = Vec::new();
+    for (ni, ns) in nameservers.iter().enumerate() {
+        for (di, domain) in targets.iter().enumerate() {
+            // Exclude domains exactly delegated to this nameserver — their
+            // records there are authoritative, not undelegated. Delegation
+            // of an enclosing registered suffix covers subdomain targets.
+            let delegated_here = world_registry
+                .registered_suffix(domain)
+                .and_then(|suffix| world_registry.delegation_of(&suffix).map(|d| d.to_vec()))
+                .map(|servers| servers.iter().any(|(_, ip)| *ip == ns.ip))
+                .unwrap_or(false);
+            if delegated_here {
+                continue;
+            }
+            for &rt in &cfg.query_types {
+                tasks.push((ni, di, rt));
+            }
+        }
+    }
+    scheduler.randomize(&mut tasks);
+    let mut out = Vec::new();
+    let mut qid: u16 = 1;
+    for (ni, di, rtype) in tasks {
+        let ns = &nameservers[ni];
+        let domain = &targets[di];
+        scheduler.admit(net, ns.ip);
+        qid = qid.wrapping_add(1).max(1);
+        let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, ns.ip, domain, rtype, qid) else {
+            continue;
+        };
+        if resp.rcode() != Rcode::NoError {
+            continue;
+        }
+        let records: Vec<dnswire::Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == rtype && r.name == *domain)
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        // MX follow-up: resolve each exchange host's address at the same
+        // nameserver, so the analysis has corresponding IPs to judge.
+        let mut aux_records = Vec::new();
+        if rtype == RecordType::Mx {
+            let exchanges: Vec<dnswire::Name> = records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    dnswire::RData::Mx { exchange, .. } => Some(exchange.clone()),
+                    _ => None,
+                })
+                .collect();
+            for exchange in exchanges {
+                qid = qid.wrapping_add(1).max(1);
+                if let Some(aux) =
+                    authdns::dns_query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
+                {
+                    if aux.rcode() == Rcode::NoError {
+                        aux_records.extend(
+                            aux.answers
+                                .iter()
+                                .filter(|r| r.rtype() == RecordType::A)
+                                .cloned(),
+                        );
+                    }
+                }
+            }
+        }
+        out.push(CollectedUr {
+            key: UrKey { ns_ip: ns.ip, domain: domain.clone(), rtype },
+            records,
+            aux_records,
+            provider: ns.provider.clone(),
+            authoritative: resp.flags.authoritative,
+            recursion_available: resp.flags.recursion_available,
+        });
+    }
+    out
+}
+
+/// Collect correct records: ask a sample of stable open resolvers for each
+/// target's A and TXT records, then enrich addresses with AS / geo / cert
+/// metadata. (Unstable resolvers are excluded up front, per the ethics
+/// appendix; manipulated answers are tolerated by the majority.)
+pub fn collect_correct(
+    net: &mut Network,
+    resolvers: &[worldgen::OpenResolverInfo],
+    metadata: &netdb::NetDb,
+    targets: &[Name],
+    cfg: &CollectConfig,
+) -> CorrectDb {
+    let stable: Vec<Ipv4Addr> = resolvers.iter().filter(|r| r.stable).map(|r| r.ip).collect();
+    assert!(!stable.is_empty(), "world has no stable resolvers");
+    let mut db = CorrectDb::default();
+    let mut qid: u16 = 0x2000;
+    for (di, domain) in targets.iter().enumerate() {
+        let mut profile = DomainProfile::default();
+        // Deterministic spread of resolvers across domains.
+        let k = cfg.resolvers_per_domain.max(1).min(stable.len());
+        for j in 0..k {
+            let resolver = stable[(di * 31 + j * 7) % stable.len()];
+            for rt in [RecordType::A, RecordType::Txt, RecordType::Mx] {
+                qid = qid.wrapping_add(1).max(1);
+                let Some(resp) =
+                    authdns::dns_query(net, cfg.scanner_ip, resolver, domain, rt, qid)
+                else {
+                    continue;
+                };
+                if resp.rcode() != Rcode::NoError {
+                    continue;
+                }
+                for r in &resp.answers {
+                    if let Some(ip) = r.rdata.as_a() {
+                        profile.ips.insert(ip);
+                    } else if let Some(t) = r.rdata.txt_joined() {
+                        profile.txts.insert(t);
+                    } else if matches!(r.rdata, dnswire::RData::Mx { .. }) {
+                        profile.mxs.insert(r.rdata.to_string());
+                    }
+                }
+            }
+        }
+        // Metadata enrichment of every correct address.
+        for ip in profile.ips.clone() {
+            if let Some(asn) = metadata.asn_of(ip) {
+                profile.asns.insert(asn.asn);
+            }
+            if let Some(geo) = metadata.geo_of(ip) {
+                profile.geos.insert((geo.country, geo.city));
+            }
+            if let Some(cert) = metadata.cert_of(ip) {
+                profile.certs.insert(cert.fingerprint);
+            }
+        }
+        db.domains.insert(domain.clone(), profile);
+    }
+    db
+}
+
+/// Collect protective records: probe each selected nameserver for a canary
+/// domain hosted nowhere, and record what it answers.
+pub fn collect_protective(
+    net: &mut Network,
+    nameservers: &[NsInfo],
+    cfg: &CollectConfig,
+) -> ProtectiveDb {
+    let canary: Name = "urhunter-canary-probe.com".parse().expect("static canary parses");
+    let mut db = ProtectiveDb::default();
+    let mut qid: u16 = 0x3000;
+    for ns in nameservers {
+        let mut profile = crate::types::ProtectiveProfile::default();
+        for rt in [RecordType::A, RecordType::Txt] {
+            qid = qid.wrapping_add(1).max(1);
+            let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, ns.ip, &canary, rt, qid)
+            else {
+                continue;
+            };
+            if resp.rcode() != Rcode::NoError {
+                continue;
+            }
+            for r in &resp.answers {
+                if let Some(ip) = r.rdata.as_a() {
+                    profile.a_ips.insert(ip);
+                }
+                if let Some(t) = r.rdata.txt_joined() {
+                    profile.txts.insert(t);
+                }
+            }
+        }
+        if !profile.a_ips.is_empty() || !profile.txts.is_empty() {
+            db.servers.insert(ns.ip, profile);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+    use worldgen::WorldConfig;
+
+    fn quick_scheduler() -> QueryScheduler {
+        QueryScheduler::new(7, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn selection_filters_small_providers() {
+        let world = World::generate(WorldConfig::small());
+        let all = world.nameservers.len();
+        let selected = select_nameservers(&world, NS_SELECTION_THRESHOLD);
+        assert!(!selected.is_empty());
+        assert!(selected.len() < all, "threshold must drop some servers");
+        assert!(selected.iter().all(|ns| ns.tail_hosted_sites >= 50));
+    }
+
+    #[test]
+    fn collect_urs_finds_planted_campaigns() {
+        let mut world = World::generate(WorldConfig::small());
+        let cfg = CollectConfig::default();
+        let nameservers = select_nameservers(&world, cfg.min_tail_sites);
+        let targets = world.scan_targets();
+        let urs = collect_urs(
+            &mut world.net,
+            &world.registry,
+            &nameservers,
+            &targets,
+            &cfg,
+            &mut quick_scheduler(),
+        );
+        assert!(!urs.is_empty());
+        // at least one planted campaign's UR must be collected
+        let planted = &world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]];
+        let found = urs.iter().any(|u| u.key.domain == planted.domain
+            && u.a_ips().contains(&planted.c2_ips[0]));
+        assert!(found, "Dark.IoT UR must be collected");
+        // no UR may be for a domain delegated to that very nameserver
+        for u in &urs {
+            let delegated_here = world
+                .registry
+                .delegation_of(&u.key.domain)
+                .map(|d| d.iter().any(|(_, ip)| *ip == u.key.ns_ip))
+                .unwrap_or(false);
+            assert!(!delegated_here, "{} exactly delegated to {}", u.key.domain, u.key.ns_ip);
+        }
+    }
+
+    #[test]
+    fn correct_db_covers_targets_with_real_ips() {
+        let mut world = World::generate(WorldConfig::small());
+        let cfg = CollectConfig { resolvers_per_domain: 3, ..CollectConfig::default() };
+        let targets: Vec<Name> = world.tranco.top(10).to_vec();
+        let db = collect_correct(&mut world.net, &world.resolvers, &world.db, &targets, &cfg);
+        let mut resolved = 0;
+        for d in &targets {
+            let p = db.profile(d);
+            if !p.ips.is_empty() {
+                resolved += 1;
+                assert!(!p.asns.is_empty(), "{d}: enrichment missing ASNs");
+            }
+        }
+        assert!(resolved >= 8, "only {resolved}/10 targets resolved correctly");
+    }
+
+    #[test]
+    fn protective_db_learns_cloudns_behaviour() {
+        let mut world = World::generate(WorldConfig::small());
+        let cfg = CollectConfig::default();
+        let nameservers = select_nameservers(&world, cfg.min_tail_sites);
+        let cloudns_idx = world.provider_index("ClouDNS").unwrap();
+        let protective_ip = world.provider_meta[cloudns_idx].protective_ip;
+        let db = collect_protective(&mut world.net, &nameservers, &cfg);
+        let cloudns_ns: Vec<Ipv4Addr> = nameservers
+            .iter()
+            .filter(|ns| ns.provider == "ClouDNS")
+            .map(|ns| ns.ip)
+            .collect();
+        assert!(!cloudns_ns.is_empty());
+        for ip in cloudns_ns {
+            let profile = db.servers.get(&ip).expect("ClouDNS NS must answer canary");
+            assert!(profile.a_ips.contains(&protective_ip));
+        }
+    }
+}

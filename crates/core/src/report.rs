@@ -1,0 +1,468 @@
+//! Aggregation of classified URs into the paper's tables and figures.
+
+use crate::analyze::Analysis;
+use crate::types::{ClassifiedUr, MaliciousEvidence, UrCategory};
+use dnswire::RecordType;
+use intel::{AlertCategory, IntelAggregator, ThreatTag};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// One row of Table 1 (A / TXT / Total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Row label.
+    pub label: &'static str,
+    /// Distinct suspicious domains.
+    pub domains: usize,
+    /// …of which associated with malicious URs.
+    pub domains_malicious: usize,
+    /// Distinct nameservers serving suspicious URs.
+    pub nameservers: usize,
+    /// …of which serving malicious URs.
+    pub nameservers_malicious: usize,
+    /// Distinct providers.
+    pub providers: usize,
+    /// …with malicious URs.
+    pub providers_malicious: usize,
+    /// Suspicious unique URs.
+    pub urs: usize,
+    /// …malicious.
+    pub urs_malicious: usize,
+    /// Distinct corresponding IPs.
+    pub ips: usize,
+    /// …malicious.
+    pub ips_malicious: usize,
+}
+
+/// One provider's category mix (Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderRow {
+    /// Provider name.
+    pub provider: String,
+    /// Total URs collected from its nameservers.
+    pub total: usize,
+    /// Correct URs.
+    pub correct: usize,
+    /// Protective URs.
+    pub protective: usize,
+    /// Unknown URs.
+    pub unknown: usize,
+    /// Malicious URs.
+    pub malicious: usize,
+}
+
+/// Overall category totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// All collected unique URs.
+    pub total: usize,
+    /// Correct.
+    pub correct: usize,
+    /// Protective.
+    pub protective: usize,
+    /// Unknown.
+    pub unknown: usize,
+    /// Malicious.
+    pub malicious: usize,
+}
+
+impl Totals {
+    /// Suspicious = unknown + malicious.
+    pub fn suspicious(&self) -> usize {
+        self.unknown + self.malicious
+    }
+
+    /// Malicious share of suspicious (the paper's 25.41%).
+    pub fn malicious_share(&self) -> f64 {
+        if self.suspicious() == 0 {
+            0.0
+        } else {
+            self.malicious as f64 / self.suspicious() as f64
+        }
+    }
+}
+
+/// The full result bundle.
+#[derive(Debug)]
+pub struct Report {
+    /// Category totals.
+    pub totals: Totals,
+    /// Table 1 rows (A, TXT, Total).
+    pub table1: Vec<Table1Row>,
+    /// Per-provider mixes, sorted by descending UR count (Fig. 2).
+    pub providers: Vec<ProviderRow>,
+    /// Fig. 3a: evidence-class histogram over malicious IPs.
+    pub fig3a: BTreeMap<&'static str, usize>,
+    /// Fig. 3b: vendor flag-count histogram over malicious IPs.
+    pub fig3b: BTreeMap<&'static str, usize>,
+    /// Fig. 3c: IDS alert categories toward malicious IPs.
+    pub fig3c: BTreeMap<AlertCategory, usize>,
+    /// Fig. 3d: vendor tag prevalence over malicious IPs.
+    pub fig3d: BTreeMap<ThreatTag, usize>,
+    /// Malicious TXT URs that are email-related vs all malicious TXT URs
+    /// (the paper's 90.95%).
+    pub txt_email_related: (usize, usize),
+}
+
+/// Build the report from classified URs and the analysis.
+pub fn build_report(
+    classified: &[ClassifiedUr],
+    analysis: &Analysis,
+    intel: &IntelAggregator,
+) -> Report {
+    let mut totals = Totals { total: classified.len(), ..Totals::default() };
+    for c in classified {
+        match c.category {
+            UrCategory::Correct => totals.correct += 1,
+            UrCategory::Protective => totals.protective += 1,
+            UrCategory::Unknown => totals.unknown += 1,
+            UrCategory::Malicious => totals.malicious += 1,
+        }
+    }
+
+    let mut table1 = vec![
+        table1_row("A", classified, |c| c.ur.key.rtype == RecordType::A),
+        table1_row("TXT", classified, |c| c.ur.key.rtype == RecordType::Txt),
+    ];
+    if classified.iter().any(|c| c.ur.key.rtype == RecordType::Mx) {
+        table1.push(table1_row("MX", classified, |c| c.ur.key.rtype == RecordType::Mx));
+    }
+    table1.push(table1_row("Total", classified, |_| true));
+
+    // Per-provider mixes.
+    let mut by_provider: BTreeMap<String, ProviderRow> = BTreeMap::new();
+    for c in classified {
+        let row = by_provider.entry(c.ur.provider.clone()).or_insert_with(|| ProviderRow {
+            provider: c.ur.provider.clone(),
+            total: 0,
+            correct: 0,
+            protective: 0,
+            unknown: 0,
+            malicious: 0,
+        });
+        row.total += 1;
+        match c.category {
+            UrCategory::Correct => row.correct += 1,
+            UrCategory::Protective => row.protective += 1,
+            UrCategory::Unknown => row.unknown += 1,
+            UrCategory::Malicious => row.malicious += 1,
+        }
+    }
+    let mut providers: Vec<ProviderRow> = by_provider.into_values().collect();
+    providers.sort_by(|a, b| b.total.cmp(&a.total).then(a.provider.cmp(&b.provider)));
+
+    // Fig. 3 series.
+    let fig3a = crate::analyze::evidence_histogram(analysis);
+    let malicious_ips: Vec<Ipv4Addr> = analysis.evidence.keys().copied().collect();
+    let vendor_flagged: Vec<Ipv4Addr> = malicious_ips
+        .iter()
+        .copied()
+        .filter(|ip| {
+            matches!(
+                analysis.evidence.get(ip),
+                Some(MaliciousEvidence::VendorOnly | MaliciousEvidence::Both)
+            )
+        })
+        .collect();
+    let fig3b = intel.flag_count_histogram(vendor_flagged.iter());
+    let mut fig3c: BTreeMap<AlertCategory, usize> = BTreeMap::new();
+    for a in &analysis.alerts_toward_malicious {
+        *fig3c.entry(a.category).or_insert(0) += 1;
+    }
+    let fig3d = intel.tag_prevalence(vendor_flagged.iter());
+
+    // Email-related share of malicious TXT URs.
+    let malicious_txt: Vec<&ClassifiedUr> = classified
+        .iter()
+        .filter(|c| c.category == UrCategory::Malicious && c.ur.key.rtype == RecordType::Txt)
+        .collect();
+    let email = malicious_txt
+        .iter()
+        .filter(|c| c.txt_category.map(|t| t.is_email_related()).unwrap_or(false))
+        .count();
+    let txt_email_related = (email, malicious_txt.len());
+
+    Report { totals, table1, providers, fig3a, fig3b, fig3c, fig3d, txt_email_related }
+}
+
+fn table1_row(
+    label: &'static str,
+    classified: &[ClassifiedUr],
+    select: impl Fn(&&ClassifiedUr) -> bool,
+) -> Table1Row {
+    let suspicious: Vec<&ClassifiedUr> = classified
+        .iter()
+        .filter(|c| matches!(c.category, UrCategory::Unknown | UrCategory::Malicious))
+        .filter(&select)
+        .collect();
+    let malicious: Vec<&&ClassifiedUr> =
+        suspicious.iter().filter(|c| c.category == UrCategory::Malicious).collect();
+
+    let domains: HashSet<_> = suspicious.iter().map(|c| c.ur.key.domain.clone()).collect();
+    let domains_mal: HashSet<_> = malicious.iter().map(|c| c.ur.key.domain.clone()).collect();
+    let ns: HashSet<_> = suspicious.iter().map(|c| c.ur.key.ns_ip).collect();
+    let ns_mal: HashSet<_> = malicious.iter().map(|c| c.ur.key.ns_ip).collect();
+    let prov: HashSet<_> = suspicious.iter().map(|c| c.ur.provider.clone()).collect();
+    let prov_mal: HashSet<_> = malicious.iter().map(|c| c.ur.provider.clone()).collect();
+    let ips: HashSet<_> = suspicious.iter().flat_map(|c| c.corresponding_ips.iter()).collect();
+    let ips_mal: HashSet<_> = malicious.iter().flat_map(|c| c.corresponding_ips.iter()).collect();
+
+    Table1Row {
+        label,
+        domains: domains.len(),
+        domains_malicious: domains_mal.len(),
+        nameservers: ns.len(),
+        nameservers_malicious: ns_mal.len(),
+        providers: prov.len(),
+        providers_malicious: prov_mal.len(),
+        urs: suspicious.len(),
+        urs_malicious: malicious.len(),
+        ips: ips.len(),
+        ips_malicious: ips_mal.len(),
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl Report {
+    /// Render Table 1 in the paper's layout.
+    pub fn render_table1(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Table 1: Overview of suspicious undelegated records (excluding correct and protective)"
+        );
+        let _ = writeln!(
+            s,
+            "{:<6} {:>22} {:>22} {:>22} {:>26} {:>22}",
+            "Cat.", "#Domain (mal)", "#Nameserver (mal)", "#Provider (mal)", "#UR (mal)", "#IP (mal)"
+        );
+        for r in &self.table1 {
+            let _ = writeln!(
+                s,
+                "{:<6} {:>12} {:>4} ({:>5.2}%) {:>7} {:>5} ({:>5.2}%) {:>7} {:>4} ({:>5.2}%) {:>9} {:>6} ({:>5.2}%) {:>7} {:>4} ({:>5.2}%)",
+                r.label,
+                r.domains,
+                r.domains_malicious,
+                pct(r.domains_malicious, r.domains),
+                r.nameservers,
+                r.nameservers_malicious,
+                pct(r.nameservers_malicious, r.nameservers),
+                r.providers,
+                r.providers_malicious,
+                pct(r.providers_malicious, r.providers),
+                r.urs,
+                r.urs_malicious,
+                pct(r.urs_malicious, r.urs),
+                r.ips,
+                r.ips_malicious,
+                pct(r.ips_malicious, r.ips),
+            );
+        }
+        s
+    }
+
+    /// Render the Fig. 2 series: category proportions for the top `k`
+    /// providers by UR volume.
+    pub fn render_figure2(&self, k: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 2: UR categories among the top {k} providers by UR count");
+        let _ = writeln!(
+            s,
+            "{:<16} {:>9} {:>9} {:>11} {:>9} {:>10}",
+            "Provider", "#URs", "correct%", "protective%", "unknown%", "malicious%"
+        );
+        for row in self.providers.iter().take(k) {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>9} {:>8.1}% {:>10.1}% {:>8.1}% {:>9.1}%",
+                row.provider,
+                row.total,
+                pct(row.correct, row.total),
+                pct(row.protective, row.total),
+                pct(row.unknown, row.total),
+                pct(row.malicious, row.total),
+            );
+        }
+        s
+    }
+
+    /// Render the four Fig. 3 panels.
+    pub fn render_figure3(&self) -> String {
+        let mut s = String::new();
+        let total_mal_ips: usize = self.fig3a.values().sum();
+        let _ = writeln!(s, "Figure 3(a): why IP addresses were labeled malicious");
+        for (k, v) in &self.fig3a {
+            let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k, v, pct(*v, total_mal_ips));
+        }
+        let flagged: usize = self.fig3b.values().sum();
+        let _ = writeln!(s, "Figure 3(b): #vendors flagging each (vendor-flagged) malicious IP");
+        for (k, v) in &self.fig3b {
+            let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k, v, pct(*v, flagged));
+        }
+        let alerts: usize = self.fig3c.values().sum();
+        let _ = writeln!(s, "Figure 3(c): IDS alert categories toward malicious IPs");
+        for (k, v) in &self.fig3c {
+            let _ = writeln!(s, "  {:<18} {:>6} ({:>5.2}%)", k.to_string(), v, pct(*v, alerts));
+        }
+        let _ = writeln!(s, "Figure 3(d): vendor tags over (vendor-flagged) malicious IPs");
+        for (k, v) in self.fig3d.iter().rev() {
+            let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k.to_string(), v, pct(*v, flagged));
+        }
+        s
+    }
+
+    /// One-paragraph summary (totals + headline shares).
+    pub fn render_summary(&self) -> String {
+        let t = &self.totals;
+        let (email, all_txt) = self.txt_email_related;
+        format!(
+            "URs: {} total = {} correct + {} protective + {} unknown + {} malicious; \
+             suspicious {} of which malicious {} ({:.2}%); \
+             email-related share of malicious TXT: {}/{} ({:.2}%)",
+            t.total,
+            t.correct,
+            t.protective,
+            t.unknown,
+            t.malicious,
+            t.suspicious(),
+            t.malicious,
+            100.0 * t.malicious_share(),
+            email,
+            all_txt,
+            pct(email, all_txt),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, AnalyzeConfig};
+    use crate::types::{CollectedUr, UrKey};
+    use dnswire::{Name, RData, Record};
+    use intel::{ThreatTag, VendorFeed};
+    use std::collections::HashSet as StdHashSet;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mk(domain: &str, ns: &str, provider: &str, rtype: RecordType, category: UrCategory, ips: Vec<Ipv4Addr>) -> ClassifiedUr {
+        ClassifiedUr {
+            ur: CollectedUr {
+                key: UrKey { ns_ip: ns.parse().unwrap(), domain: n(domain), rtype },
+                records: vec![Record::new(n(domain), 60, RData::A(ip("1.1.1.1")))],
+                aux_records: Vec::new(),
+                provider: provider.into(),
+                authoritative: true,
+                recursion_available: false,
+            },
+            category,
+            correct_reason: None,
+            txt_category: if rtype == RecordType::Txt {
+                Some(crate::types::TxtCategory::Spf)
+            } else {
+                None
+            },
+            corresponding_ips: ips,
+            payload_matched: None,
+        }
+    }
+
+    fn sample_report() -> Report {
+        let bad = ip("40.0.0.1");
+        let mut classified = vec![
+            mk("a.com", "20.0.0.1", "P1", RecordType::A, UrCategory::Unknown, vec![bad]),
+            mk("a.com", "20.0.0.2", "P1", RecordType::A, UrCategory::Unknown, vec![bad]),
+            mk("b.com", "20.1.0.1", "P2", RecordType::Txt, UrCategory::Unknown, vec![bad]),
+            mk("c.com", "20.1.0.1", "P2", RecordType::A, UrCategory::Correct, vec![]),
+            mk("d.com", "20.2.0.1", "P3", RecordType::A, UrCategory::Protective, vec![]),
+            mk("e.com", "20.2.0.1", "P3", RecordType::A, UrCategory::Unknown, vec![ip("45.0.0.1")]),
+        ];
+        let mut agg = IntelAggregator::new();
+        let mut feed = VendorFeed::new("V");
+        feed.flag(bad, ThreatTag::Trojan);
+        agg.add_vendor(feed);
+        let analysis = analyze(
+            &mut classified,
+            &agg,
+            Vec::new(),
+            StdHashSet::new(),
+            &intel::PayloadSignatureDb::new(),
+            &AnalyzeConfig::default(),
+        );
+        build_report(&classified, &analysis, &agg)
+    }
+
+    #[test]
+    fn totals_partition_the_input() {
+        let r = sample_report();
+        let t = r.totals;
+        assert_eq!(t.total, 6);
+        assert_eq!(t.correct + t.protective + t.unknown + t.malicious, 6);
+        assert_eq!(t.malicious, 3);
+        assert_eq!(t.suspicious(), 4);
+        assert!((t.malicious_share() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_rows_count_distinct_entities() {
+        let r = sample_report();
+        let total = &r.table1[2];
+        assert_eq!(total.label, "Total");
+        assert_eq!(total.domains, 3); // a, b, e
+        assert_eq!(total.domains_malicious, 2); // a, b
+        assert_eq!(total.urs, 4);
+        assert_eq!(total.urs_malicious, 3);
+        assert_eq!(total.ips, 2);
+        assert_eq!(total.ips_malicious, 1);
+        let a_row = &r.table1[0];
+        assert_eq!(a_row.urs, 3);
+        let txt_row = &r.table1[1];
+        assert_eq!(txt_row.urs, 1);
+        assert_eq!(txt_row.urs_malicious, 1);
+    }
+
+    #[test]
+    fn provider_rows_sorted_by_volume() {
+        let r = sample_report();
+        assert!(r.providers.len() >= 3);
+        for w in r.providers.windows(2) {
+            assert!(w[0].total >= w[1].total);
+        }
+        let p1 = r.providers.iter().find(|p| p.provider == "P1").unwrap();
+        assert_eq!(p1.total, 2);
+        assert_eq!(p1.malicious, 2);
+    }
+
+    #[test]
+    fn email_share_counts_spf_txt() {
+        let r = sample_report();
+        assert_eq!(r.txt_email_related, (1, 1));
+    }
+
+    #[test]
+    fn renderers_produce_output() {
+        let r = sample_report();
+        let t1 = r.render_table1();
+        assert!(t1.contains("Total"));
+        let f2 = r.render_figure2(5);
+        assert!(f2.contains("P1"));
+        let f3 = r.render_figure3();
+        assert!(f3.contains("3(a)"));
+        let s = r.render_summary();
+        assert!(s.contains("malicious"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for DNS wire-format encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while parsing or serializing DNS messages.
+///
+/// The decoder is written defensively: every length, offset and pointer read
+/// from the wire is validated before use, and malformed input always surfaces
+/// as a `WireError` instead of a panic or silent truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input buffer ended before a complete field could be read.
+    Truncated {
+        /// Offset at which more bytes were required.
+        offset: usize,
+        /// Description of the field being read.
+        what: &'static str,
+    },
+    /// A domain-name label exceeded the 63-octet limit.
+    LabelTooLong(usize),
+    /// A domain name exceeded the 255-octet wire limit.
+    NameTooLong(usize),
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer {
+        /// Offset of the offending pointer.
+        at: usize,
+        /// The pointer target.
+        target: usize,
+    },
+    /// Too many compression pointers were followed for one name.
+    PointerLimit,
+    /// A label length byte used the reserved `0b10xx_xxxx` / `0b01xx_xxxx` forms.
+    BadLabelType(u8),
+    /// RDATA length did not match the declared RDLENGTH.
+    RdataLength {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// A text string in a name was not valid (empty label, bad char, etc).
+    BadName(String),
+    /// The message would exceed the configured maximum size when encoded.
+    MessageTooLong(usize),
+    /// A count field in the header promised more sections than present.
+    CountMismatch {
+        /// Which section was being read.
+        section: &'static str,
+        /// How many entries the header declared.
+        declared: u16,
+        /// How many were actually parsed.
+        parsed: u16,
+    },
+    /// Trailing bytes remained after the declared sections were parsed.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset, what } => {
+                write!(f, "truncated input at offset {offset} while reading {what}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadPointer { at, target } => {
+                write!(f, "invalid compression pointer at {at} -> {target}")
+            }
+            WireError::PointerLimit => write!(f, "too many compression pointers in one name"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
+            WireError::RdataLength { declared, consumed } => {
+                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+            }
+            WireError::BadName(s) => write!(f, "invalid domain name: {s}"),
+            WireError::MessageTooLong(n) => write!(f, "encoded message of {n} bytes too long"),
+            WireError::CountMismatch { section, declared, parsed } => {
+                write!(f, "{section} count mismatch: declared {declared}, parsed {parsed}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience result alias used throughout the crate.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { offset: 12, what: "header" };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("header"));
+        let e = WireError::BadPointer { at: 30, target: 40 };
+        assert!(e.to_string().contains("30"));
+        let e = WireError::CountMismatch { section: "answer", declared: 2, parsed: 1 };
+        assert!(e.to_string().contains("answer"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,496 @@
+//! Full DNS messages: header flags, sections, encode/decode.
+
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+use crate::record::{Question, Record};
+use crate::types::{Opcode, Rcode, RecordType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default maximum size for a UDP DNS payload without EDNS.
+pub const MAX_UDP_PAYLOAD: usize = 512;
+/// Maximum message size this crate will emit (a common EDNS buffer size).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Decoded header flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// True for responses, false for queries (QR).
+    pub response: bool,
+    /// Operation code (4 bits).
+    pub opcode: Opcode,
+    /// Authoritative answer (AA).
+    pub authoritative: bool,
+    /// Truncation (TC).
+    pub truncated: bool,
+    /// Recursion desired (RD).
+    pub recursion_desired: bool,
+    /// Recursion available (RA).
+    pub recursion_available: bool,
+    /// Authenticated data (AD, RFC 4035).
+    pub authentic_data: bool,
+    /// Checking disabled (CD, RFC 4035).
+    pub checking_disabled: bool,
+    /// Response code (4 bits).
+    pub rcode: Rcode,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: false,
+            recursion_available: false,
+            authentic_data: false,
+            checking_disabled: false,
+            rcode: Rcode::NoError,
+        }
+    }
+}
+
+impl Flags {
+    /// Pack into the 16-bit header field.
+    pub fn to_u16(self) -> u16 {
+        let mut v = 0u16;
+        if self.response {
+            v |= 0x8000;
+        }
+        v |= (self.opcode.code() as u16) << 11;
+        if self.authoritative {
+            v |= 0x0400;
+        }
+        if self.truncated {
+            v |= 0x0200;
+        }
+        if self.recursion_desired {
+            v |= 0x0100;
+        }
+        if self.recursion_available {
+            v |= 0x0080;
+        }
+        if self.authentic_data {
+            v |= 0x0020;
+        }
+        if self.checking_disabled {
+            v |= 0x0010;
+        }
+        v | self.rcode.code() as u16
+    }
+
+    /// Unpack from the 16-bit header field.
+    pub fn from_u16(v: u16) -> Self {
+        Flags {
+            response: v & 0x8000 != 0,
+            opcode: Opcode::from_code(((v >> 11) & 0x0F) as u8),
+            authoritative: v & 0x0400 != 0,
+            truncated: v & 0x0200 != 0,
+            recursion_desired: v & 0x0100 != 0,
+            recursion_available: v & 0x0080 != 0,
+            authentic_data: v & 0x0020 != 0,
+            checking_disabled: v & 0x0010 != 0,
+            rcode: Rcode::from_code((v & 0x0F) as u8),
+        }
+    }
+}
+
+/// A complete DNS message.
+///
+/// ```
+/// use dnswire::{Message, Question, RecordType};
+/// let q = Message::query(0x1234, Question::new("example.com".parse().unwrap(), RecordType::A));
+/// let wire = q.encode().unwrap();
+/// let back = Message::decode(&wire).unwrap();
+/// assert_eq!(back, q);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction identifier used to match responses to queries.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a standard recursion-desired query with a single question.
+    pub fn query(id: u16, question: Question) -> Message {
+        Message {
+            id,
+            flags: Flags { recursion_desired: true, ..Flags::default() },
+            questions: vec![question],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build a response skeleton mirroring a query's id, question and RD bit.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            id: query.id,
+            flags: Flags {
+                response: true,
+                opcode: query.flags.opcode,
+                recursion_desired: query.flags.recursion_desired,
+                rcode,
+                ..Flags::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The response code (shorthand for `flags.rcode`).
+    pub fn rcode(&self) -> Rcode {
+        self.flags.rcode
+    }
+
+    /// First question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Answers of a specific record type.
+    pub fn answers_of(&self, rtype: RecordType) -> impl Iterator<Item = &Record> {
+        self.answers.iter().filter(move |r| r.rtype() == rtype)
+    }
+
+    /// Serialize to wire format with name compression.
+    pub fn encode(&self) -> WireResult<Vec<u8>> {
+        for (count, what) in [
+            (self.questions.len(), "question"),
+            (self.answers.len(), "answer"),
+            (self.authorities.len(), "authority"),
+            (self.additionals.len(), "additional"),
+        ] {
+            if count > u16::MAX as usize {
+                return Err(WireError::CountMismatch {
+                    section: what,
+                    declared: u16::MAX,
+                    parsed: u16::MAX,
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(128);
+        buf.extend_from_slice(&self.id.to_be_bytes());
+        buf.extend_from_slice(&self.flags.to_u16().to_be_bytes());
+        buf.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.authorities.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.additionals.len() as u16).to_be_bytes());
+        let mut offsets: HashMap<String, u16> = HashMap::new();
+        for q in &self.questions {
+            q.encode(&mut buf, &mut offsets);
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            r.encode(&mut buf, &mut offsets);
+        }
+        if buf.len() > MAX_MESSAGE_LEN {
+            return Err(WireError::MessageTooLong(buf.len()));
+        }
+        Ok(buf)
+    }
+
+    /// Parse from wire format. Rejects trailing garbage and section-count
+    /// mismatches.
+    pub fn decode(msg: &[u8]) -> WireResult<Message> {
+        if msg.len() < 12 {
+            return Err(WireError::Truncated { offset: msg.len(), what: "header" });
+        }
+        let id = u16::from_be_bytes([msg[0], msg[1]]);
+        let flags = Flags::from_u16(u16::from_be_bytes([msg[2], msg[3]]));
+        let qd = u16::from_be_bytes([msg[4], msg[5]]);
+        let an = u16::from_be_bytes([msg[6], msg[7]]);
+        let ns = u16::from_be_bytes([msg[8], msg[9]]);
+        let ar = u16::from_be_bytes([msg[10], msg[11]]);
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qd as usize);
+        for i in 0..qd {
+            match Question::decode(msg, &mut pos) {
+                Ok(q) => questions.push(q),
+                Err(WireError::Truncated { .. }) => {
+                    return Err(WireError::CountMismatch {
+                        section: "question",
+                        declared: qd,
+                        parsed: i,
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut sections: [(u16, &'static str, Vec<Record>); 3] = [
+            (an, "answer", Vec::new()),
+            (ns, "authority", Vec::new()),
+            (ar, "additional", Vec::new()),
+        ];
+        for (count, label, out) in sections.iter_mut() {
+            for i in 0..*count {
+                match Record::decode(msg, &mut pos) {
+                    Ok(r) => out.push(r),
+                    Err(WireError::Truncated { .. }) => {
+                        return Err(WireError::CountMismatch {
+                            section: label,
+                            declared: *count,
+                            parsed: i,
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if pos != msg.len() {
+            return Err(WireError::TrailingBytes(msg.len() - pos));
+        }
+        let [(_, _, answers), (_, _, authorities), (_, _, additionals)] = sections;
+        Ok(Message { id, flags, questions, answers, authorities, additionals })
+    }
+
+    /// Wire-size-aware truncation: if the encoded message exceeds `limit`,
+    /// drop answer/authority/additional records from the back and set TC.
+    /// Returns the encoded bytes.
+    pub fn encode_truncated(&self, limit: usize) -> WireResult<Vec<u8>> {
+        let full = self.encode()?;
+        if full.len() <= limit {
+            return Ok(full);
+        }
+        let mut m = self.clone();
+        m.flags.truncated = true;
+        while !(m.additionals.is_empty() && m.authorities.is_empty() && m.answers.is_empty()) {
+            if !m.additionals.is_empty() {
+                m.additionals.pop();
+            } else if !m.authorities.is_empty() {
+                m.authorities.pop();
+            } else {
+                m.answers.pop();
+            }
+            let enc = m.encode()?;
+            if enc.len() <= limit {
+                return Ok(enc);
+            }
+        }
+        m.encode()
+    }
+
+    /// Advertise an EDNS(0) UDP payload size by appending an OPT
+    /// pseudo-record to the additional section (RFC 6891: the requestor's
+    /// buffer size travels in the CLASS field).
+    pub fn add_edns(&mut self, payload_size: u16) {
+        self.additionals.push(Record {
+            name: Name::root(),
+            class: crate::types::Class::from_code(payload_size),
+            ttl: 0,
+            rdata: crate::rdata::RData::Opt(Vec::new()),
+        });
+    }
+
+    /// The EDNS(0) payload size advertised by the sender, if any.
+    pub fn edns_payload_size(&self) -> Option<u16> {
+        self.additionals
+            .iter()
+            .find(|r| r.rtype() == RecordType::Opt)
+            .map(|r| r.class.code())
+    }
+
+    /// All names appearing anywhere in the message (used by tests and by
+    /// traffic inspection in the IDS substrate).
+    pub fn all_names(&self) -> Vec<&Name> {
+        let mut v: Vec<&Name> = self.questions.iter().map(|q| &q.qname).collect();
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            v.push(&r.name);
+        }
+        v
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ";; id {} {} {} qd={} an={} ns={} ar={}",
+            self.id,
+            if self.flags.response { "response" } else { "query" },
+            self.flags.rcode,
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len()
+        )?;
+        for q in &self.questions {
+            writeln!(f, ";{q}")?;
+        }
+        for r in &self.answers {
+            writeln!(f, "{r}")?;
+        }
+        for r in &self.authorities {
+            writeln!(f, "{r}")?;
+        }
+        for r in &self.additionals {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query(7, Question::new(name("www.example.com"), RecordType::A));
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.flags.authoritative = true;
+        r.answers.push(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(203, 0, 113, 10))));
+        r.authorities.push(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
+        r.additionals.push(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(198, 51, 100, 1))));
+        r
+    }
+
+    #[test]
+    fn flags_roundtrip_all_bits() {
+        for v in [0u16, 0xFFFF, 0x8180, 0x0100, 0x8583, 0x2410] {
+            // z-bit (0x0040) is not modeled; mask it out of the comparison
+            let masked = v & !0x0040;
+            assert_eq!(Flags::from_u16(masked).to_u16(), masked);
+        }
+    }
+
+    #[test]
+    fn query_encode_decode() {
+        let q = Message::query(0xBEEF, Question::new(name("a.b.c"), RecordType::Txt));
+        let wire = q.encode().unwrap();
+        assert_eq!(Message::decode(&wire).unwrap(), q);
+    }
+
+    #[test]
+    fn full_response_roundtrip() {
+        let r = sample_response();
+        let wire = r.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, r);
+        assert!(back.flags.authoritative);
+        assert_eq!(back.answers_of(RecordType::A).count(), 1);
+    }
+
+    #[test]
+    fn compression_reduces_size() {
+        let owner = name("a-rather-long-owner.example.com");
+        let q = Message::query(3, Question::new(owner.clone(), RecordType::A));
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        for i in 0..10u8 {
+            r.answers.push(Record::new(owner.clone(), 60, RData::A(Ipv4Addr::new(10, 0, 0, i))));
+        }
+        let wire = r.encode().unwrap();
+        // each answer after the first writes a 2-byte pointer instead of the
+        // full owner name: 2 + 10 fixed + 4 rdata = 16 bytes per record
+        let uncompressed = 12 + owner.wire_len() + 4 + 10 * (owner.wire_len() + 14);
+        assert!(wire.len() <= 12 + owner.wire_len() + 4 + 10 * 16);
+        assert!(wire.len() < uncompressed);
+        assert_eq!(Message::decode(&wire).unwrap(), r);
+    }
+
+    #[test]
+    fn response_to_mirrors_id_and_question() {
+        let q = Message::query(42, Question::new(name("x.y"), RecordType::A));
+        let r = Message::response_to(&q, Rcode::NxDomain);
+        assert_eq!(r.id, 42);
+        assert!(r.flags.response);
+        assert!(r.flags.recursion_desired);
+        assert_eq!(r.rcode(), Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn decode_rejects_short_header() {
+        assert!(Message::decode(&[0; 11]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let q = Message::query(1, Question::new(name("t.example"), RecordType::A));
+        let mut wire = q.encode().unwrap();
+        wire.push(0);
+        assert!(matches!(Message::decode(&wire), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn decode_reports_count_mismatch() {
+        let q = Message::query(1, Question::new(name("t.example"), RecordType::A));
+        let mut wire = q.encode().unwrap();
+        // claim one answer that isn't there
+        wire[7] = 1;
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(WireError::CountMismatch { section: "answer", .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_sets_tc_and_fits() {
+        let mut r = sample_response();
+        for i in 0..100u8 {
+            r.answers.push(Record::new(
+                name(&format!("host{i}.example.com")),
+                60,
+                RData::A(Ipv4Addr::new(10, 0, 0, i)),
+            ));
+        }
+        let wire = r.encode_truncated(MAX_UDP_PAYLOAD).unwrap();
+        assert!(wire.len() <= MAX_UDP_PAYLOAD);
+        let back = Message::decode(&wire).unwrap();
+        assert!(back.flags.truncated);
+        assert!(back.answers.len() < r.answers.len());
+    }
+
+    #[test]
+    fn no_truncation_when_it_fits() {
+        let r = sample_response();
+        let wire = r.encode_truncated(MAX_UDP_PAYLOAD).unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert!(!back.flags.truncated);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decode_every_prefix_never_panics() {
+        let wire = sample_response().encode().unwrap();
+        for cut in 0..wire.len() {
+            let _ = Message::decode(&wire[..cut]);
+        }
+    }
+
+    #[test]
+    fn edns_advertisement_roundtrips() {
+        let mut q = Message::query(5, Question::new(name("big.example"), RecordType::A));
+        assert_eq!(q.edns_payload_size(), None);
+        q.add_edns(4096);
+        let wire = q.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back.edns_payload_size(), Some(4096));
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let s = sample_response().to_string();
+        assert!(s.contains("NOERROR"));
+        assert!(s.contains("www.example.com"));
+    }
+}

@@ -1,0 +1,508 @@
+//! Domain names: parsing, formatting, wire encoding with compression and
+//! decoding with pointer-chase protection.
+
+use crate::error::{WireError, WireResult};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire, including length bytes and the root
+/// label (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Upper bound on compression pointers followed per name; a legitimate name
+/// can never need more than `MAX_NAME_LEN` hops.
+const MAX_POINTER_HOPS: usize = 128;
+
+/// A fully-qualified domain name.
+///
+/// Names are stored as a sequence of labels, *excluding* the empty root
+/// label. Comparison and hashing are case-insensitive per RFC 1035 §2.3.3;
+/// the original case of each label is preserved for display.
+///
+/// ```
+/// use dnswire::Name;
+/// let n: Name = "WWW.Example.COM".parse().unwrap();
+/// assert_eq!(n, "www.example.com".parse().unwrap());
+/// assert_eq!(n.label_count(), 3);
+/// assert!(n.is_subdomain_of(&"example.com".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Eq)]
+pub struct Name {
+    labels: Vec<Box<[u8]>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Construct a name from raw labels. Each label must be 1..=63 octets and
+    /// the total wire length must not exceed [`MAX_NAME_LEN`].
+    pub fn from_labels<I, L>(labels: I) -> WireResult<Self>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1; // trailing root byte
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(WireError::BadName("empty label".into()));
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            wire_len += 1 + l.len();
+            out.push(l.to_vec().into_boxed_slice());
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire_len));
+        }
+        Ok(Name { labels: out })
+    }
+
+    /// Number of labels, excluding the root.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate over the labels, leftmost (most specific) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_ref())
+    }
+
+    /// Wire-format length of this name when written without compression.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// The parent name (one label stripped from the left), or `None` at root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Prepend a label, producing a child name.
+    pub fn child<L: AsRef<[u8]>>(&self, label: L) -> WireResult<Name> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_ref().to_vec());
+        labels.extend(self.labels.iter().map(|l| l.to_vec()));
+        Name::from_labels(labels)
+    }
+
+    /// True if `self` is equal to `other` or is a descendant of it.
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_ignore_case(a, b))
+    }
+
+    /// True if `self` is strictly below `other` (subdomain but not equal).
+    pub fn is_strict_subdomain_of(&self, other: &Name) -> bool {
+        self.label_count() > other.label_count() && self.is_subdomain_of(other)
+    }
+
+    /// The trailing `n` labels as a name (e.g. `suffix(2)` of
+    /// `www.example.com` is `example.com`). Returns `None` if `n` exceeds the
+    /// label count.
+    pub fn suffix(&self, n: usize) -> Option<Name> {
+        if n > self.labels.len() {
+            return None;
+        }
+        Some(Name { labels: self.labels[self.labels.len() - n..].to_vec() })
+    }
+
+    /// Encode at `buf`'s end without compression.
+    pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
+        for l in &self.labels {
+            buf.push(l.len() as u8);
+            buf.extend_from_slice(l);
+        }
+        buf.push(0);
+    }
+
+    /// Encode with DNS name compression.
+    ///
+    /// `offsets` maps a canonical (lowercased) textual representation of each
+    /// name suffix to the message offset where it was first written; suffixes
+    /// found in the map are replaced with a 2-byte pointer, and newly written
+    /// suffixes at pointable offsets (< 0x3FFF) are inserted.
+    pub fn encode_compressed(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>) {
+        for i in 0..self.labels.len() {
+            let suffix_key = canonical_suffix_key(&self.labels[i..]);
+            if let Some(&off) = offsets.get(&suffix_key) {
+                buf.push(0xC0 | ((off >> 8) as u8));
+                buf.push((off & 0xFF) as u8);
+                return;
+            }
+            let here = buf.len();
+            if here <= 0x3FFF {
+                offsets.insert(suffix_key, here as u16);
+            }
+            let l = &self.labels[i];
+            buf.push(l.len() as u8);
+            buf.extend_from_slice(l);
+        }
+        buf.push(0);
+    }
+
+    /// Decode a (possibly compressed) name from `msg` starting at `*pos`.
+    ///
+    /// `*pos` is advanced past the name as it appears at the original
+    /// location (pointers count as two bytes). Pointer chases are bounded and
+    /// must always point strictly backwards, which both matches RFC 1035
+    /// encoders in practice and guarantees termination.
+    pub fn decode(msg: &[u8], pos: &mut usize) -> WireResult<Name> {
+        let mut labels: Vec<Box<[u8]>> = Vec::new();
+        let mut wire_len = 1usize;
+        let mut cursor = *pos;
+        let mut followed_pointer = false;
+        let mut hops = 0usize;
+        loop {
+            let len_byte = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { offset: cursor, what: "name label length" })?;
+            match len_byte {
+                0 => {
+                    if !followed_pointer {
+                        *pos = cursor + 1;
+                    }
+                    return Ok(Name { labels });
+                }
+                1..=63 => {
+                    let l = len_byte as usize;
+                    let start = cursor + 1;
+                    let end = start + l;
+                    if end > msg.len() {
+                        return Err(WireError::Truncated { offset: start, what: "name label" });
+                    }
+                    wire_len += 1 + l;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(msg[start..end].to_vec().into_boxed_slice());
+                    cursor = end;
+                }
+                b if b & 0xC0 == 0xC0 => {
+                    let second = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                        offset: cursor + 1,
+                        what: "compression pointer",
+                    })?;
+                    let target = (((b & 0x3F) as usize) << 8) | second as usize;
+                    if target >= cursor {
+                        return Err(WireError::BadPointer { at: cursor, target });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::PointerLimit);
+                    }
+                    if !followed_pointer {
+                        *pos = cursor + 2;
+                        followed_pointer = true;
+                    }
+                    cursor = target;
+                }
+                b => return Err(WireError::BadLabelType(b)),
+            }
+        }
+    }
+}
+
+fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+fn canonical_suffix_key(labels: &[Box<[u8]>]) -> String {
+    let mut key = String::new();
+    for l in labels {
+        for &b in l.iter() {
+            key.push(b.to_ascii_lowercase() as char);
+        }
+        key.push('.');
+    }
+    key
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_ignore_case(a, b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            state.write_usize(l.len());
+            for &b in l.iter() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering: compare label sequences right-to-left,
+    /// case-insensitively (RFC 4034 §6.1).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a_rev = self.labels.iter().rev();
+        let b_rev = other.labels.iter().rev();
+        for (a, b) in a_rev.zip(b_rev) {
+            let la: Vec<u8> = a.iter().map(|c| c.to_ascii_lowercase()).collect();
+            let lb: Vec<u8> = b.iter().map(|c| c.to_ascii_lowercase()).collect();
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+
+    /// Parse a textual domain name. A single trailing dot is permitted
+    /// (and means the same thing); `"."` is the root.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(WireError::BadName("empty name".into()));
+        }
+        if s == "." {
+            return Ok(Name::root());
+        }
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Err(WireError::BadName(format!("bad name {s:?}")));
+        }
+        let mut labels = Vec::new();
+        for part in trimmed.split('.') {
+            if part.is_empty() {
+                return Err(WireError::BadName(format!("empty label in {s:?}")));
+            }
+            if !part.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                return Err(WireError::BadName(format!("bad character in {s:?}")));
+            }
+            labels.push(part.as_bytes());
+        }
+        Name::from_labels(labels)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            for &b in l.iter() {
+                if b.is_ascii_graphic() && b != b'.' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["example.com", "www.example.com", "a.b.c.d.e", "xn--test.org"] {
+            assert_eq!(n(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        assert_eq!(n("example.com."), n("example.com"));
+    }
+
+    #[test]
+    fn root_parses() {
+        let r: Name = ".".parse().unwrap();
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), ".");
+        assert_eq!(r.wire_len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!("".parse::<Name>().is_err());
+        assert!("a..b".parse::<Name>().is_err());
+        assert!(".a".parse::<Name>().is_err());
+        assert!("a b.com".parse::<Name>().is_err());
+        let long = "a".repeat(64);
+        assert!(long.parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn rejects_too_long_total() {
+        let label = "a".repeat(63);
+        let s = format!("{label}.{label}.{label}.{label}.{label}");
+        assert!(s.parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::HashSet;
+        let a = n("WWW.EXAMPLE.COM");
+        let b = n("www.example.com");
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(!n("example.com").is_strict_subdomain_of(&n("example.com")));
+        assert!(n("www.example.com").is_strict_subdomain_of(&n("com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+        assert!(n("anything.org").is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let x = n("a.b.c");
+        assert_eq!(x.parent().unwrap(), n("b.c"));
+        assert_eq!(n("b.c").child("a").unwrap(), x);
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn suffix_extraction() {
+        let x = n("www.shop.example.co.uk");
+        assert_eq!(x.suffix(2).unwrap(), n("co.uk"));
+        assert_eq!(x.suffix(0).unwrap(), Name::root());
+        assert!(x.suffix(9).is_none());
+    }
+
+    #[test]
+    fn wire_roundtrip_uncompressed() {
+        let x = n("mail.example.org");
+        let mut buf = Vec::new();
+        x.encode_uncompressed(&mut buf);
+        assert_eq!(buf.len(), x.wire_len());
+        let mut pos = 0;
+        let back = Name::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, x);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compression_shares_suffixes() {
+        let mut buf = Vec::new();
+        let mut offsets = HashMap::new();
+        n("www.example.com").encode_compressed(&mut buf, &mut offsets);
+        let len_first = buf.len();
+        n("mail.example.com").encode_compressed(&mut buf, &mut offsets);
+        // second name should be 1 length byte + 4 label bytes + 2 pointer bytes
+        assert_eq!(buf.len() - len_first, 7);
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), n("www.example.com"));
+        assert_eq!(pos, len_first);
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), n("mail.example.com"));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut buf = Vec::new();
+        let mut offsets = HashMap::new();
+        n("EXAMPLE.COM").encode_compressed(&mut buf, &mut offsets);
+        let first = buf.len();
+        n("www.example.com").encode_compressed(&mut buf, &mut offsets);
+        // www + pointer
+        assert_eq!(buf.len() - first, 6);
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // pointer at offset 0 pointing at itself
+        let msg = [0xC0, 0x00];
+        let mut pos = 0;
+        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_label() {
+        let msg = [5, b'a', b'b'];
+        let mut pos = 0;
+        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_type() {
+        let msg = [0x40, 0x00];
+        let mut pos = 0;
+        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::BadLabelType(_))));
+    }
+
+    #[test]
+    fn decode_rejects_missing_terminator() {
+        let msg = [1, b'a'];
+        let mut pos = 0;
+        assert!(Name::decode(&msg, &mut pos).is_err());
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        // RFC 4034 example ordering (right-to-left label comparison)
+        let mut names = vec![n("z.example.com"), n("a.example.com"), n("example.com")];
+        names.sort();
+        assert_eq!(names, vec![n("example.com"), n("a.example.com"), n("z.example.com")]);
+    }
+
+    #[test]
+    fn non_ascii_label_display_escapes() {
+        let x = Name::from_labels([&[0xFFu8, b'a'][..]]).unwrap();
+        assert!(x.to_string().contains("\\255"));
+    }
+}

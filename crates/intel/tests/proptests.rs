@@ -1,0 +1,41 @@
+//! Property tests: IP extraction and payload matching never panic and obey
+//! their contracts on arbitrary input.
+
+use intel::{extract_ipv4s, PayloadSignatureDb};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn extract_ipv4s_never_panics_and_returns_valid_addrs(s in "\\PC{0,200}") {
+        for ip in extract_ipv4s(&s) {
+            // every returned address must literally appear in the text
+            // (modulo the ip4:/cidr wrappers we strip)
+            prop_assert!(s.contains(&ip.to_string()));
+        }
+    }
+
+    #[test]
+    fn spf_mechanisms_are_always_recovered(a in any::<[u8; 4]>(), b in any::<[u8; 4]>()) {
+        let ia = std::net::Ipv4Addr::from(a);
+        let ib = std::net::Ipv4Addr::from(b);
+        let text = format!("v=spf1 ip4:{ia} ip4:{ib}/24 -all");
+        let got = extract_ipv4s(&text);
+        prop_assert!(got.contains(&ia));
+        // the /24 form yields the network-side address as written
+        prop_assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn payload_db_matches_exactly_when_pattern_present(
+        prefix in "[a-z ]{0,20}",
+        suffix in "[a-z ]{0,20}",
+    ) {
+        let db = PayloadSignatureDb::standard();
+        let hit = format!("{prefix}cmd64={suffix}");
+        prop_assert!(db.match_text(&hit).is_some());
+        let miss = format!("{prefix}cmd63={suffix}");
+        prop_assert!(db.match_text(&miss).map(|s| s.family.as_str()) != Some("GenericTrojan"));
+    }
+}

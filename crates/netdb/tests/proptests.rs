@@ -1,0 +1,59 @@
+//! Property tests for CIDR arithmetic and longest-prefix matching.
+
+use netdb::{Cidr, NetDb};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cidr_display_parse_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+        let c = Cidr::new(Ipv4Addr::from(addr), len);
+        let back: Cidr = c.to_string().parse().unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn network_is_contained_and_masked(addr in any::<u32>(), len in 0u8..=32) {
+        let c = Cidr::new(Ipv4Addr::from(addr), len);
+        prop_assert!(c.contains(c.network()));
+        prop_assert!(c.contains(Ipv4Addr::from(addr)));
+        // re-masking the network address is a no-op
+        prop_assert_eq!(Cidr::new(c.network(), len), c);
+    }
+
+    #[test]
+    fn nth_stays_inside_prefix(addr in any::<u32>(), len in 1u8..=32, i in any::<u64>()) {
+        let c = Cidr::new(Ipv4Addr::from(addr), len);
+        prop_assert!(c.contains(c.nth(i)));
+    }
+
+    #[test]
+    fn truncate_is_supernet(addr in any::<u32>(), len in 0u8..=32, shorter in 0u8..=32) {
+        let c = Cidr::new(Ipv4Addr::from(addr), len);
+        let t = c.truncate(shorter);
+        prop_assert!(t.len() <= c.len());
+        prop_assert!(t.contains(c.network()));
+    }
+
+    #[test]
+    fn lpm_returns_most_specific_matching_prefix(
+        addr in any::<u32>(),
+        lens in proptest::collection::btree_set(1u8..=28, 1..5),
+    ) {
+        let ip = Ipv4Addr::from(addr);
+        let mut db = NetDb::new();
+        for (i, len) in lens.iter().enumerate() {
+            db.add_prefix(Cidr::new(ip, *len), 64_000 + i as u32, "AS");
+        }
+        // every inserted prefix contains ip, so LPM must return the longest
+        let expected_asn = 64_000 + (lens.len() - 1) as u32;
+        prop_assert_eq!(db.asn_of(ip).unwrap().asn, expected_asn);
+        // an address outside every prefix resolves to nothing
+        let far = Ipv4Addr::from(!addr);
+        if !lens.iter().any(|l| Cidr::new(ip, *l).contains(far)) {
+            prop_assert!(db.asn_of(far).is_none());
+        }
+    }
+}

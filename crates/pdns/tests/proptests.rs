@@ -1,0 +1,47 @@
+//! Property tests for the passive-DNS store's window arithmetic.
+
+use dnswire::{Name, RData, RecordType};
+use pdns::PassiveDns;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn contains_iff_interval_intersects_window(
+        first in 0u32..5_000,
+        span in 0u32..2_000,
+        today in 0u32..8_000,
+        window in 0u32..4_000,
+    ) {
+        let last = first + span;
+        let mut p = PassiveDns::new();
+        let d: Name = "w.example".parse().unwrap();
+        let rdata = RData::A(Ipv4Addr::new(1, 2, 3, 4));
+        p.observe(d.clone(), RecordType::A, rdata.clone(), first, last);
+        let horizon = today.saturating_sub(window);
+        let expected = last >= horizon && first <= today;
+        prop_assert_eq!(p.contains(&d, RecordType::A, &rdata, today, window), expected);
+    }
+
+    #[test]
+    fn subdomain_recovery_never_includes_apex_or_foreign_names(
+        subs in proptest::collection::vec("[a-z]{1,6}", 0..6),
+        today in 100u32..5_000,
+    ) {
+        let apex: Name = "apex.example".parse().unwrap();
+        let mut p = PassiveDns::new();
+        p.observe(apex.clone(), RecordType::A, RData::A(Ipv4Addr::new(1, 1, 1, 1)), 0, today);
+        p.observe("other.net".parse().unwrap(), RecordType::A, RData::A(Ipv4Addr::new(2, 2, 2, 2)), 0, today);
+        for l in &subs {
+            let child = apex.child(l.as_bytes()).unwrap();
+            p.observe(child, RecordType::A, RData::A(Ipv4Addr::new(3, 3, 3, 3)), 0, today);
+        }
+        let found = p.subdomains_of(&apex, today, today);
+        prop_assert!(!found.contains(&apex));
+        prop_assert!(found.iter().all(|n| n.is_strict_subdomain_of(&apex)));
+        let distinct: std::collections::HashSet<_> = subs.iter().collect();
+        prop_assert_eq!(found.len(), distinct.len());
+    }
+}

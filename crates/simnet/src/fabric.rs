@@ -1,0 +1,546 @@
+//! The event-driven network fabric: owns nodes, the event queue, the
+//! latency model, fault injection and the traffic capture.
+
+use crate::fault::{FaultDecision, FaultPlan};
+use crate::node::{Actions, Datagram, Endpoint, Node};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Disposition, FlowLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Deterministic propagation-delay model.
+///
+/// Latency between a pair of addresses is `base` plus a per-pair offset
+/// derived by hashing the pair (stable across a run, so a given path always
+/// has the same RTT — like real geography).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Floor latency applied to every hop.
+    pub base: SimDuration,
+    /// Maximum additional per-pair latency in microseconds.
+    pub per_pair_spread_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { base: SimDuration::from_millis(10), per_pair_spread_us: 90_000 }
+    }
+}
+
+impl LatencyModel {
+    /// Zero-latency model (events still order deterministically by seq).
+    pub fn instant() -> Self {
+        LatencyModel { base: SimDuration::ZERO, per_pair_spread_us: 0 }
+    }
+
+    /// One-way delay for a (src, dst) pair.
+    pub fn delay(&self, src: Ipv4Addr, dst: Ipv4Addr) -> SimDuration {
+        if self.per_pair_spread_us == 0 {
+            return self.base;
+        }
+        let mut h = u64::from(u32::from(src)).wrapping_mul(0x9E3779B97F4A7C15);
+        h ^= u64::from(u32::from(dst)).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 32;
+        self.base + SimDuration::from_micros(h % self.per_pair_spread_us)
+    }
+}
+
+/// Aggregate fabric counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams delivered to a node or external inbox.
+    pub delivered: u64,
+    /// Datagrams dropped by fault injection or size limit.
+    pub dropped: u64,
+    /// Datagrams delivered with an injected corruption.
+    pub corrupted: u64,
+    /// Datagrams addressed to an IP with no node or external registration.
+    pub no_route: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Events processed by the run loop.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { dgram: Datagram, corrupt: bool },
+    Timer { node: Ipv4Addr, token: u64 },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network.
+///
+/// Single-threaded and fully deterministic: given the same seed, node set
+/// and injected traffic, every run produces identical event orderings,
+/// traces and statistics.
+pub struct Network {
+    nodes: HashMap<Ipv4Addr, Box<dyn Node>>,
+    external: HashMap<Ipv4Addr, Vec<Datagram>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    latency: LatencyModel,
+    faults: FaultPlan,
+    rng: StdRng,
+    /// Traffic capture; enabled by default.
+    pub trace: FlowLog,
+    stats: NetStats,
+    seq: u64,
+}
+
+impl Network {
+    /// Create a fabric with the given RNG seed, default latency model, no
+    /// faults, and capture enabled.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: HashMap::new(),
+            external: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            latency: LatencyModel::default(),
+            faults: FaultPlan::reliable(),
+            rng: StdRng::seed_from_u64(seed),
+            trace: FlowLog::new().with_payload_cap(2048),
+            stats: NetStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Replace the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Fabric counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Attach a node at `ip`.
+    ///
+    /// # Panics
+    /// Panics if a node or external registration already occupies `ip` —
+    /// address collisions are a world-construction bug.
+    pub fn add_node(&mut self, ip: Ipv4Addr, node: Box<dyn Node>) {
+        assert!(!self.external.contains_key(&ip), "ip {ip} already registered as external");
+        let prev = self.nodes.insert(ip, node);
+        assert!(prev.is_none(), "duplicate node at {ip}");
+    }
+
+    /// True if some node is attached at `ip`.
+    pub fn has_node(&self, ip: Ipv4Addr) -> bool {
+        self.nodes.contains_key(&ip)
+    }
+
+    /// Register an external endpoint: datagrams addressed to `ip` are
+    /// queued in an inbox instead of requiring a node. Idempotent.
+    pub fn register_external(&mut self, ip: Ipv4Addr) {
+        assert!(!self.nodes.contains_key(&ip), "ip {ip} already has a node");
+        self.external.entry(ip).or_default();
+    }
+
+    /// Drain the inbox of an external endpoint.
+    pub fn take_inbox(&mut self, ip: Ipv4Addr) -> Vec<Datagram> {
+        self.external.get_mut(&ip).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Inject a datagram into the fabric (from an external sender).
+    pub fn send(&mut self, dgram: Datagram) {
+        self.enqueue_send(SimDuration::ZERO, dgram);
+    }
+
+    fn enqueue_send(&mut self, extra_delay: SimDuration, dgram: Datagram) {
+        match self.faults.decide(&mut self.rng, dgram.payload.len()) {
+            FaultDecision::Drop => {
+                self.trace.record(self.now, &dgram, Disposition::Dropped);
+                self.stats.dropped += 1;
+            }
+            FaultDecision::Deliver { corrupt, duplicate } => {
+                let delay = extra_delay + self.latency.delay(dgram.src.ip, dgram.dst.ip);
+                if duplicate {
+                    let copy = dgram.clone();
+                    let at = self.now + delay + SimDuration::from_micros(50);
+                    self.push_event(at, EventKind::Deliver { dgram: copy, corrupt: false });
+                }
+                let at = self.now + delay;
+                self.push_event(at, EventKind::Deliver { dgram, corrupt });
+            }
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
+    }
+
+    /// Process events until the queue is empty or `max_events` is reached.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Process events with timestamps `<= deadline`. Returns events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Process a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Deliver { mut dgram, corrupt } => {
+                if corrupt {
+                    FaultPlan::corrupt(&mut self.rng, &mut dgram.payload);
+                    self.stats.corrupted += 1;
+                }
+                let disposition = if self.nodes.contains_key(&dgram.dst.ip) {
+                    if corrupt {
+                        Disposition::Corrupted
+                    } else {
+                        Disposition::Delivered
+                    }
+                } else if self.external.contains_key(&dgram.dst.ip) {
+                    Disposition::Delivered
+                } else {
+                    Disposition::NoRoute
+                };
+                self.trace.record(self.now, &dgram, disposition);
+                match disposition {
+                    Disposition::NoRoute => {
+                        self.stats.no_route += 1;
+                    }
+                    _ => {
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered += dgram.payload.len() as u64;
+                    }
+                }
+                if let Some(node) = self.nodes.get_mut(&dgram.dst.ip) {
+                    let mut out = Actions::default();
+                    node.handle(self.now, &dgram, &mut out);
+                    self.apply_actions(out, dgram.dst.ip);
+                } else if let Some(inbox) = self.external.get_mut(&dgram.dst.ip) {
+                    inbox.push(dgram);
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if let Some(n) = self.nodes.get_mut(&node) {
+                    let mut out = Actions::default();
+                    n.on_timer(self.now, token, &mut out);
+                    self.apply_actions(out, node);
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_actions(&mut self, out: Actions, origin: Ipv4Addr) {
+        for (delay, dgram) in out.sends {
+            self.enqueue_send(delay, dgram);
+        }
+        for (delay, token) in out.timers {
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Timer { node: origin, token });
+        }
+    }
+
+    /// Request/response helper: send `payload` from external endpoint `src`
+    /// to `dst` and run the simulation until a reply reaches `src` or the
+    /// timeout elapses. Returns the reply payload.
+    ///
+    /// This is the path the measurement scanner uses for every probe: real
+    /// wire bytes, real latency, real fault injection.
+    pub fn rpc(
+        &mut self,
+        src: Endpoint,
+        dst: Endpoint,
+        proto: crate::node::Proto,
+        payload: Vec<u8>,
+        timeout: SimDuration,
+    ) -> Option<Vec<u8>> {
+        if !self.external.contains_key(&src.ip) {
+            self.register_external(src.ip);
+        }
+        // Drain any stale datagrams from previous exchanges.
+        self.take_inbox(src.ip);
+        let deadline = self.now + timeout;
+        self.send(Datagram { src, dst, proto, payload });
+        loop {
+            let next_at = match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => ev.at,
+                _ => {
+                    self.now = deadline;
+                    return None;
+                }
+            };
+            let _ = next_at;
+            self.step();
+            let replies = self.take_inbox(src.ip);
+            if let Some(r) = replies.into_iter().find(|d| d.dst == src) {
+                return Some(r.payload);
+            }
+        }
+    }
+
+    /// Run every queued event (bounded), then assert quiescence. Useful in
+    /// tests that must observe a settled world.
+    pub fn settle(&mut self) {
+        self.run_until_idle(u64::MAX);
+        debug_assert!(self.queue.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Proto;
+
+    /// Echoes every datagram back to its sender with payload reversed.
+    struct Echo;
+    impl Node for Echo {
+        fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+            let mut p = dgram.payload.clone();
+            p.reverse();
+            out.send(dgram.reply(p));
+        }
+        fn role(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    /// Forwards payloads to a fixed next hop, tagging each hop.
+    struct Hop {
+        next: Endpoint,
+    }
+    impl Node for Hop {
+        fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+            let mut p = dgram.payload.clone();
+            p.push(b'h');
+            out.send(Datagram::udp(Endpoint::new(dgram.dst.ip, dgram.dst.port), self.next, p));
+        }
+    }
+
+    /// Counts timer firings.
+    struct Ticker {
+        fired: u64,
+    }
+    impl Node for Ticker {
+        fn handle(&mut self, _now: SimTime, _dgram: &Datagram, out: &mut Actions) {
+            out.set_timer(SimDuration::from_secs(1), 7);
+        }
+        fn on_timer(&mut self, _now: SimTime, token: u64, out: &mut Actions) {
+            assert_eq!(token, 7);
+            self.fired += 1;
+            if self.fired < 3 {
+                out.set_timer(SimDuration::from_secs(1), 7);
+            }
+        }
+    }
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let mut net = Network::new(1);
+        net.add_node(ip(2), Box::new(Echo));
+        let reply = net
+            .rpc(
+                Endpoint::new(ip(1), 40000),
+                Endpoint::new(ip(2), 53),
+                Proto::Udp,
+                vec![1, 2, 3],
+                SimDuration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(reply, vec![3, 2, 1]);
+        assert!(net.now() > SimTime::ZERO);
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn rpc_times_out_without_listener() {
+        let mut net = Network::new(1);
+        let reply = net.rpc(
+            Endpoint::new(ip(1), 40000),
+            Endpoint::new(ip(9), 53),
+            Proto::Udp,
+            vec![0],
+            SimDuration::from_secs(2),
+        );
+        assert!(reply.is_none());
+        assert_eq!(net.stats().no_route, 1);
+        assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn rpc_times_out_under_full_loss() {
+        let mut net = Network::new(1).with_faults(FaultPlan::lossy(1.0));
+        net.add_node(ip(2), Box::new(Echo));
+        let reply = net.rpc(
+            Endpoint::new(ip(1), 40000),
+            Endpoint::new(ip(2), 53),
+            Proto::Udp,
+            vec![0],
+            SimDuration::from_secs(2),
+        );
+        assert!(reply.is_none());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn multi_hop_forwarding() {
+        let mut net = Network::new(1);
+        net.add_node(ip(2), Box::new(Hop { next: Endpoint::new(ip(3), 53) }));
+        net.add_node(ip(3), Box::new(Hop { next: Endpoint::new(ip(4), 99) }));
+        net.register_external(ip(4));
+        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 53), vec![b'x']));
+        net.settle();
+        let got = net.take_inbox(ip(4));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"xhh");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = Network::new(1);
+        net.add_node(ip(2), Box::new(Ticker { fired: 0 }));
+        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 1), vec![]));
+        net.settle();
+        assert!(net.now() >= SimTime::ZERO + SimDuration::from_secs(3));
+        // 1 delivery + 3 timer events
+        assert_eq!(net.stats().events, 4);
+    }
+
+    #[test]
+    fn latency_is_stable_per_pair() {
+        let m = LatencyModel::default();
+        let d1 = m.delay(ip(1), ip(2));
+        let d2 = m.delay(ip(1), ip(2));
+        assert_eq!(d1, d2);
+        assert!(d1 >= m.base);
+        // different pairs usually differ
+        assert_ne!(m.delay(ip(1), ip(2)), m.delay(ip(1), ip(3)));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut net = Network::new(seed).with_faults(FaultPlan {
+                drop_chance: 0.2,
+                corrupt_chance: 0.2,
+                duplicate_chance: 0.1,
+                size_limit: 0,
+            });
+            net.add_node(ip(2), Box::new(Echo));
+            for i in 0..20u8 {
+                net.send(Datagram::udp(
+                    Endpoint::new(ip(1), 1000 + i as u16),
+                    Endpoint::new(ip(2), 53),
+                    vec![i; 16],
+                ));
+            }
+            net.register_external(ip(1));
+            net.settle();
+            (net.stats(), net.trace.len())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0.events, 0);
+    }
+
+    #[test]
+    fn corruption_mutates_payload() {
+        let mut net = Network::new(3).with_faults(FaultPlan {
+            corrupt_chance: 1.0,
+            ..FaultPlan::default()
+        });
+        net.register_external(ip(4));
+        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(4), 1), vec![0u8; 8]));
+        net.settle();
+        let got = net.take_inbox(ip(4));
+        assert_eq!(got.len(), 1);
+        assert_ne!(got[0].payload, vec![0u8; 8]);
+        assert_eq!(net.stats().corrupted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_node_panics() {
+        let mut net = Network::new(1);
+        net.add_node(ip(2), Box::new(Echo));
+        net.add_node(ip(2), Box::new(Echo));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut net = Network::new(1);
+        net.add_node(ip(2), Box::new(Ticker { fired: 0 }));
+        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 1), vec![]));
+        // Only the delivery plus the first timer (at ~1s) fit in 1.2s.
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(1200));
+        assert!(net.stats().events <= 2);
+        assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_millis(1200));
+    }
+}

@@ -1,0 +1,130 @@
+//! World-generation configuration: every scale knob of the synthetic
+//! internet, with presets for tests (small) and experiments (default).
+
+use pdns::Day;
+
+/// Configuration for [`crate::World::generate`].
+///
+/// Every experiment is a pure function of this struct; two generations with
+/// equal configs are identical down to the wire bytes.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; all other randomness derives from it.
+    pub seed: u64,
+    /// Size of the Tranco-style target list (paper: top 2K).
+    pub top_domains: usize,
+    /// Synthetic providers generated beyond the named ones (paper: 400+
+    /// providers overall).
+    pub synthetic_providers: usize,
+    /// Nameservers per synthetic provider (inclusive range).
+    pub ns_per_synthetic: (usize, usize),
+    /// Open resolvers world-wide (paper: 3K selected).
+    pub open_resolvers: usize,
+    /// Fraction of open resolvers that are unstable (sometimes silent).
+    pub unstable_resolver_fraction: f64,
+    /// Fraction of open resolvers that manipulate A answers.
+    pub manipulated_resolver_fraction: f64,
+    /// Attacker campaigns planting URs.
+    pub attack_campaigns: usize,
+    /// Fraction of campaigns whose C2s are detectable as malicious (the
+    /// paper finds 25.41% of suspicious URs malicious).
+    pub malicious_campaign_fraction: f64,
+    /// Among detectable campaigns: fraction labeled by vendors only
+    /// (Fig. 3a: 34.20%).
+    pub label_only_fraction: f64,
+    /// Among detectable campaigns: fraction caught by IDS only
+    /// (Fig. 3a: 36.62%); the remainder is "both".
+    pub ids_only_fraction: f64,
+    /// Benign misconfiguration URs (classified "unknown").
+    pub benign_misconfig_urs: usize,
+    /// Stale zones left from past delegations (excluded via passive DNS).
+    pub past_delegation_urs: usize,
+    /// URs pointing at parking pages (excluded via HTTP keywords).
+    pub parked_urs: usize,
+    /// Misconfigured nameservers that answer any query by recursion.
+    pub misconfigured_recursive_ns: usize,
+    /// Fraction of top domains hosted at providers (vs. self-hosted).
+    pub provider_hosted_fraction: f64,
+    /// "Today" on the passive-DNS day axis.
+    pub today: Day,
+}
+
+impl WorldConfig {
+    /// A small world for unit/integration tests: builds in well under a
+    /// second and runs the full pipeline in a few seconds.
+    pub fn small() -> Self {
+        WorldConfig {
+            seed: 42,
+            top_domains: 60,
+            synthetic_providers: 6,
+            ns_per_synthetic: (2, 4),
+            open_resolvers: 18,
+            unstable_resolver_fraction: 0.15,
+            manipulated_resolver_fraction: 0.05,
+            attack_campaigns: 24,
+            malicious_campaign_fraction: 0.45,
+            label_only_fraction: 0.342,
+            ids_only_fraction: 0.366,
+            benign_misconfig_urs: 14,
+            past_delegation_urs: 6,
+            parked_urs: 6,
+            misconfigured_recursive_ns: 2,
+            provider_hosted_fraction: 0.7,
+            today: 2_500,
+        }
+    }
+
+    /// The experiment scale used by the table/figure regeneration binaries:
+    /// large enough for stable proportions, small enough to run in seconds.
+    pub fn default_scale() -> Self {
+        WorldConfig {
+            seed: 2023,
+            top_domains: 1_000,
+            synthetic_providers: 60,
+            ns_per_synthetic: (2, 6),
+            open_resolvers: 300,
+            unstable_resolver_fraction: 0.12,
+            manipulated_resolver_fraction: 0.03,
+            attack_campaigns: 5_500,
+            malicious_campaign_fraction: 0.24,
+            label_only_fraction: 0.342,
+            ids_only_fraction: 0.366,
+            benign_misconfig_urs: 400,
+            past_delegation_urs: 120,
+            parked_urs: 120,
+            misconfigured_recursive_ns: 6,
+            provider_hosted_fraction: 0.72,
+            today: 2_500,
+        }
+    }
+
+    /// Replace the seed (for seed-sweep ablations).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for cfg in [WorldConfig::small(), WorldConfig::default_scale()] {
+            assert!(cfg.top_domains >= 10);
+            assert!(cfg.ns_per_synthetic.0 <= cfg.ns_per_synthetic.1);
+            assert!(cfg.label_only_fraction + cfg.ids_only_fraction < 1.0);
+            assert!(cfg.malicious_campaign_fraction <= 1.0);
+            assert!(cfg.provider_hosted_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = WorldConfig::small();
+        let b = WorldConfig::small().with_seed(7);
+        assert_eq!(a.top_domains, b.top_domains);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,168 @@
+//! The §5.3 case studies end to end: Dark.IoT and Specter obtaining C2
+//! addresses through URs on a ClouDNS-like provider, and the masquerading
+//! SPF record hiding SMTP covert communication.
+
+use dnswire::{Name, RecordType};
+use intel::Severity;
+use simnet::Proto;
+use urhunter::{run, HunterConfig, TxtCategory, UrCategory};
+use worldgen::{World, WorldConfig};
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+#[test]
+fn dark_iot_obtains_c2_through_cloudns_ur() {
+    let mut world = World::generate(WorldConfig::small());
+    let dark = world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]].clone();
+    let c2 = dark.c2_ips[0];
+
+    // Replay the Dark.IoT samples in the sandbox.
+    let samples: Vec<_> = world
+        .samples
+        .iter()
+        .filter(|s| s.family == "Dark.IoT")
+        .cloned()
+        .collect();
+    assert_eq!(samples.len(), 3, "two 2021 variants + one 2023 variant");
+    let sandbox = world.sandbox;
+    let ids = intel::IdsEngine::standard_ruleset();
+    let mut saw_gitlab = false;
+    let mut saw_pastebin = false;
+    for s in &samples {
+        let report = sandbox.run(&mut world.net, &ids, s);
+        // the sample resolved the UR and contacted the C2
+        assert_eq!(report.contacted_ips, vec![c2], "{} missed its C2", s.name);
+        // high-severity Trojan alert toward the C2
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.dst.ip == c2 && a.severity == Severity::High));
+        for (domain, _, _) in &report.queried_domains {
+            if *domain == n("api.gitlab.com") {
+                saw_gitlab = true;
+            }
+            if *domain == n("raw.pastebin.com") {
+                saw_pastebin = true;
+            }
+        }
+    }
+    assert!(saw_gitlab, "2021 variants query api.gitlab.com");
+    assert!(saw_pastebin, "2023 variant switched to raw.pastebin.com");
+}
+
+#[test]
+fn specter_is_ids_only_but_still_malicious() {
+    let mut world = World::generate(WorldConfig::small());
+    let specter = world.truth.campaigns[world.truth.case_studies["specter_ibm"]].clone();
+    let c2 = specter.c2_ips[0];
+    // Not flagged by any of the vendors (as in the paper).
+    assert_eq!(world.intel.flag_count(c2), 0);
+
+    let out = run(&mut world, &HunterConfig::fast());
+    // ...yet the pipeline still finds it malicious via sandbox+IDS.
+    assert!(out.analysis.is_malicious(c2));
+    assert_eq!(
+        out.analysis.evidence.get(&c2),
+        Some(&urhunter::MaliciousEvidence::IdsOnly)
+    );
+    let ibm_ur = out
+        .classified
+        .iter()
+        .find(|u| u.ur.key.domain == n("ibm.com") && u.corresponding_ips.contains(&c2))
+        .expect("ibm.com UR collected");
+    assert_eq!(ibm_ur.category, UrCategory::Malicious);
+    assert_eq!(ibm_ur.ur.provider, "ClouDNS");
+}
+
+#[test]
+fn spf_masquerade_spans_eleven_nameservers_on_two_providers() {
+    let mut world = World::generate(WorldConfig::small());
+    let out = run(&mut world, &HunterConfig::fast());
+    let speedtest = n("speedtest.net");
+    let spf_urs: Vec<_> = out
+        .classified
+        .iter()
+        .filter(|u| {
+            u.ur.key.domain == speedtest
+                && u.ur.key.rtype == RecordType::Txt
+                && u.category == UrCategory::Malicious
+        })
+        .collect();
+    // Namecheap (6 NS) + CSC (5 NS) = 11 nameservers serving the record.
+    let ns: std::collections::HashSet<_> = spf_urs.iter().map(|u| u.ur.key.ns_ip).collect();
+    assert_eq!(ns.len(), 11, "expected 11 nameservers, got {}", ns.len());
+    let providers: std::collections::HashSet<_> =
+        spf_urs.iter().map(|u| u.ur.provider.clone()).collect();
+    assert_eq!(providers.len(), 2);
+    assert!(providers.contains("Namecheap") && providers.contains("CSC"));
+    // Three addresses in the same /24, all classified SPF.
+    for u in &spf_urs {
+        assert_eq!(u.txt_category, Some(TxtCategory::Spf));
+        assert_eq!(u.corresponding_ips.len(), 3);
+        let octets: std::collections::HashSet<[u8; 3]> = u
+            .corresponding_ips
+            .iter()
+            .map(|ip| {
+                let o = ip.octets();
+                [o[0], o[1], o[2]]
+            })
+            .collect();
+        assert_eq!(octets.len(), 1, "the three IPs share one /24");
+    }
+}
+
+#[test]
+fn smtp_covert_channel_visible_in_sandbox_traffic() {
+    let mut world = World::generate(WorldConfig::small());
+    let sandbox = world.sandbox;
+    let ids = intel::IdsEngine::standard_ruleset();
+    let tesla: Vec<_> = world
+        .samples
+        .iter()
+        .filter(|s| s.family == "Tesla" || s.family == "Micropsia")
+        .cloned()
+        .collect();
+    assert_eq!(tesla.len(), 6, "six samples as in §5.3");
+    let mut port25_flows = 0;
+    let mut high_alerts = 0;
+    for s in &tesla {
+        let report = sandbox.run(&mut world.net, &ids, s);
+        port25_flows += report
+            .flows
+            .iter()
+            .filter(|f| f.proto == Proto::Tcp && f.dst.port == 25)
+            .count();
+        high_alerts += report
+            .alerts
+            .iter()
+            .filter(|a| a.severity == Severity::High)
+            .count();
+    }
+    assert!(port25_flows >= 4, "Tesla samples must emit SMTP flows");
+    assert!(high_alerts >= 4, "IDS flags the covert channel as high-risk");
+}
+
+#[test]
+fn email_related_share_of_malicious_txt_is_high() {
+    // Paper: 90.95% of malicious TXT URs act as email-related records.
+    let mut world = World::generate(WorldConfig::small());
+    let out = run(&mut world, &HunterConfig::fast());
+    let (email, total) = out.report.txt_email_related;
+    assert!(total > 0, "no malicious TXT URs at all");
+    let share = email as f64 / total as f64;
+    assert!(share >= 0.5, "email-related share {share:.2} too low vs paper's 0.91");
+}
+
+#[test]
+fn case_study_domains_rank_like_the_paper() {
+    let world = World::generate(WorldConfig::small());
+    // SLD ranks must preserve the paper's ordering:
+    // github (30) < ibm (125) < speedtest (415) < gitlab (527) < pastebin (2033)
+    let rank = |d: &str| world.tranco.rank(&n(d)).unwrap();
+    assert!(rank("github.com") < rank("ibm.com"));
+    assert!(rank("ibm.com") < rank("speedtest.net"));
+    assert!(rank("speedtest.net") < rank("gitlab.com"));
+    assert!(rank("gitlab.com") < rank("pastebin.com"));
+}

@@ -1,0 +1,104 @@
+//! Longitudinal evolution: the paper measured in two epochs (April and
+//! December 2022) and observed infrastructure churn (Dark.IoT abandoning
+//! EmerDNS, URs appearing and disappearing). `World::evolve` models that:
+//! campaigns expire, new ones appear, time advances.
+
+use urhunter::{run, HunterConfig, UrCategory};
+use worldgen::{World, WorldConfig};
+
+#[test]
+fn evolution_expires_and_plants_campaigns() {
+    let mut world = World::generate(WorldConfig::small());
+    let before = world.truth.campaigns.len();
+    world.evolve(240, 30, 0.4, 7);
+    assert!(world.truth.campaigns.len() >= before + 20, "new campaigns planted");
+    assert!(!world.truth.expired_campaigns.is_empty(), "some campaigns expired");
+    // Case studies survive ("the masquerading records can still be
+    // resolved at the time of writing").
+    for idx in world.truth.case_studies.values() {
+        assert!(!world.truth.expired_campaigns.contains(idx));
+    }
+    assert_eq!(world.config.today, WorldConfig::small().today + 240);
+}
+
+#[test]
+fn expired_urs_disappear_from_the_second_epoch() {
+    let mut world = World::generate(WorldConfig::small());
+    let epoch1 = run(&mut world, &HunterConfig::fast());
+    world.evolve(240, 25, 0.5, 11);
+    let epoch2 = run(&mut world, &HunterConfig::fast());
+
+    let key = |u: &urhunter::ClassifiedUr| {
+        (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype)
+    };
+    let suspicious = |out: &urhunter::RunOutput| {
+        out.classified
+            .iter()
+            .filter(|u| matches!(u.category, UrCategory::Unknown | UrCategory::Malicious))
+            .map(key)
+            .collect::<std::collections::HashSet<_>>()
+    };
+    let e1 = suspicious(&epoch1);
+    let e2 = suspicious(&epoch2);
+    let disappeared = e1.difference(&e2).count();
+    let appeared = e2.difference(&e1).count();
+    assert!(disappeared > 0, "expired campaigns must take URs with them");
+    assert!(appeared > 0, "new campaigns must contribute new URs");
+
+    // Expired campaigns' domains no longer answer from their old zones.
+    for &idx in &world.truth.expired_campaigns {
+        let c = &world.truth.campaigns[idx];
+        let serving = world.providers[c.provider].borrow().serving_nameservers(c.zone);
+        assert!(serving.is_empty(), "expired zone still served");
+    }
+}
+
+#[test]
+fn evolution_is_deterministic() {
+    let run_evolved = || {
+        let mut world = World::generate(WorldConfig::small());
+        world.evolve(240, 25, 0.5, 11);
+        (
+            world.truth.campaigns.len(),
+            world.truth.expired_campaigns.clone(),
+            world.samples.len(),
+        )
+    };
+    assert_eq!(run_evolved(), run_evolved());
+}
+
+#[test]
+fn new_campaign_c2_blocks_do_not_collide_with_old() {
+    let mut world = World::generate(WorldConfig::small());
+    let old_ips: std::collections::HashSet<_> = world
+        .truth
+        .campaigns
+        .iter()
+        .flat_map(|c| c.c2_ips.iter().copied())
+        .collect();
+    let before = world.truth.campaigns.len();
+    world.evolve(100, 40, 0.0, 3);
+    for c in &world.truth.campaigns[before..] {
+        for ip in &c.c2_ips {
+            assert!(!old_ips.contains(ip), "C2 {ip} reused across epochs");
+        }
+    }
+}
+
+#[test]
+fn second_epoch_pipeline_stays_sound() {
+    let mut world = World::generate(WorldConfig::small());
+    let _ = run(&mut world, &HunterConfig::fast());
+    world.evolve(240, 25, 0.5, 11);
+    let out = run(&mut world, &HunterConfig::fast());
+    // Invariants hold in the evolved world too.
+    let t = out.report.totals;
+    assert_eq!(t.correct + t.protective + t.unknown + t.malicious, t.total);
+    let fn_count = urhunter::evaluate_false_negatives(
+        &mut world,
+        &out.correct_db,
+        &out.protective_db,
+        &HunterConfig::fast(),
+    );
+    assert_eq!(fn_count, 0);
+}
