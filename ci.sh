@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, test, lint, and smoke-run one regeneration
+# binary. Any failure aborts the script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== smoke: cargo run -p bench --bin table1 =="
+cargo run --release -p bench --bin table1
+
+echo "ci.sh: all checks passed"

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, SamplingMode, Throughput};
 use intel::IdsEngine;
-use simnet::{Datagram, Disposition, Endpoint, FlowRecord, Proto, SimTime};
+use simnet::{Datagram, Disposition, Endpoint, FlowRecord, SimTime};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use worldgen::{World, WorldConfig};

@@ -16,22 +16,27 @@ fn bench_world_generation(c: &mut Criterion) {
 }
 
 fn bench_classification(c: &mut Criterion) {
-    // Pre-collect once, then benchmark pure classification.
+    // Pre-collect once, then benchmark pure classification, sequential
+    // vs. automatic parallelism (identical output either way).
     let mut world = World::generate(WorldConfig::small());
     let out = run(&mut world, &HunterConfig::fast());
-    let cfg = urhunter::ClassifyConfig::default();
-    c.bench_function("classify_collected_urs", |b| {
-        b.iter(|| {
-            black_box(classify_all(
-                &out.collected,
-                &out.correct_db,
-                &out.protective_db,
-                &world.db,
-                &world.pdns,
-                &cfg,
-            ))
-        })
-    });
+    let mut cfg = urhunter::ClassifyConfig::default();
+    for (name, workers) in [("classify_collected_urs_seq", 1usize), ("classify_collected_urs_par", 0)] {
+        cfg.parallelism = workers;
+        let cfg = cfg.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(classify_all(
+                    &out.collected,
+                    &out.correct_db,
+                    &out.protective_db,
+                    &world.db,
+                    &world.pdns,
+                    &cfg,
+                ))
+            })
+        });
+    }
 }
 
 fn bench_full_pipeline(c: &mut Criterion) {

@@ -13,7 +13,8 @@ use worldgen::{World, WorldConfig};
 
 fn main() {
     println!("== classification-condition ablation (suspicious / malicious counts) ==");
-    let toggles: [(&str, fn(&mut urhunter::ClassifyConfig)); 7] = [
+    type Toggle = fn(&mut urhunter::ClassifyConfig);
+    let toggles: [(&str, Toggle); 7] = [
         ("baseline", |_| {}),
         ("no IP subset", |c| c.use_ip_subset = false),
         ("no AS subset", |c| c.use_as_subset = false),

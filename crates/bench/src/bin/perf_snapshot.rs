@@ -1,0 +1,104 @@
+//! Machine-readable performance snapshot of the URHunter pipeline.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_snapshot
+//! ```
+//!
+//! Times world generation, collection, classification (sequential vs.
+//! parallel) and analysis on the medium benchmark world, verifies the
+//! sequential and parallel classification outputs agree, and writes the
+//! results to `BENCH_pipeline.json` in the working directory.
+
+use std::time::Instant;
+use urhunter::{classify_all, run, HunterConfig};
+use worldgen::{World, WorldConfig};
+
+/// Best-of-`n` wall time in milliseconds.
+fn best_of_ms<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("n >= 1"))
+}
+
+fn main() {
+    let threads_auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let t0 = Instant::now();
+    let mut world = World::generate(WorldConfig::medium());
+    let worldgen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Full pipeline once (sequential) to obtain the collected URs and the
+    // stage databases; collection dominates it and is single-threaded by
+    // design (the simulated network is not Sync).
+    let t0 = Instant::now();
+    let out = run(&mut world, &HunterConfig::fast().with_parallelism(1));
+    let pipeline_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut cfg = urhunter::ClassifyConfig { today: world.config.today, ..Default::default() };
+    let mut classify = |workers: usize| {
+        cfg.parallelism = workers;
+        let cfg = cfg.clone();
+        best_of_ms(3, || {
+            classify_all(
+                &out.collected,
+                &out.correct_db,
+                &out.protective_db,
+                &world.db,
+                &world.pdns,
+                &cfg,
+            )
+        })
+    };
+    let _warmup = classify(1); // touch all data before any timed pass
+
+    // The pre-batching baseline: per-UR classification resolves each UR's
+    // attributes on its own (the state before the batch AttrIndex).
+    let cfg_per_ur =
+        urhunter::ClassifyConfig { today: world.config.today, ..Default::default() };
+    let (classify_per_ur_ms, _) = best_of_ms(3, || {
+        out.collected
+            .iter()
+            .map(|ur| {
+                urhunter::classify_ur(
+                    ur,
+                    &out.correct_db,
+                    &out.protective_db,
+                    &world.db,
+                    &world.pdns,
+                    &cfg_per_ur,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let (classify_seq_ms, seq_out) = classify(1);
+    let (classify_par_ms, par_out) = classify(0);
+    assert_eq!(seq_out.len(), par_out.len());
+    for (s, p) in seq_out.iter().zip(par_out.iter()) {
+        assert_eq!(s.category, p.category, "parallel classification diverged");
+    }
+    let batch_speedup = classify_per_ur_ms / classify_seq_ms;
+    let thread_speedup = classify_seq_ms / classify_par_ms;
+
+    let json = format!(
+        "{{\n  \"world\": \"medium\",\n  \"threads_auto\": {threads_auto},\n  \
+         \"urs_collected\": {},\n  \"worldgen_ms\": {worldgen_ms:.2},\n  \
+         \"pipeline_seq_ms\": {pipeline_seq_ms:.2},\n  \
+         \"classify_per_ur_ms\": {classify_per_ur_ms:.2},\n  \
+         \"classify_seq_ms\": {classify_seq_ms:.2},\n  \
+         \"classify_par_ms\": {classify_par_ms:.2},\n  \
+         \"batch_attr_index_speedup\": {batch_speedup:.3},\n  \
+         \"thread_speedup\": {thread_speedup:.3}\n}}\n",
+        out.collected.len(),
+    );
+    print!("{json}");
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    eprintln!("wrote {path}");
+}

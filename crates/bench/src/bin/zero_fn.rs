@@ -19,7 +19,8 @@ fn main() {
     println!("  all conditions enabled: {baseline} suspicious (paper: 0)\n");
 
     println!("ablation: disable one Appendix-B condition at a time");
-    let toggles: [(&str, fn(&mut urhunter::ClassifyConfig)); 6] = [
+    type Toggle = fn(&mut urhunter::ClassifyConfig);
+    let toggles: [(&str, Toggle); 6] = [
         ("no IP subset", |c| c.use_ip_subset = false),
         ("no AS subset", |c| c.use_as_subset = false),
         ("no geo subset", |c| c.use_geo_subset = false),

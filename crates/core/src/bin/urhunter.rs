@@ -118,8 +118,8 @@ fn main() -> ExitCode {
         }
         "all" => {
             println!("{}\n", out.report.render_summary());
-            print!("{}\n", out.report.render_table1());
-            print!("{}\n", out.report.render_figure2(5));
+            println!("{}", out.report.render_table1());
+            println!("{}", out.report.render_figure2(5));
             print!("{}", out.report.render_figure3());
             let fn_count = evaluate_false_negatives(
                 &mut world,

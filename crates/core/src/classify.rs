@@ -11,7 +11,8 @@ use crate::types::{
     ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, ProtectiveDb, TxtCategory, UrCategory,
 };
 use dnswire::RecordType;
-use netdb::{NetDb, PageKind};
+use netdb::{AttrIndex, NetDb, PageKind};
+use par::{par_map, Parallelism};
 use pdns::{Day, PassiveDns, SIX_YEARS_DAYS};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -35,6 +36,10 @@ pub struct ClassifyConfig {
     pub today: Day,
     /// Lookback window for passive DNS.
     pub pdns_window: u32,
+    /// Worker threads for batch classification: `0` is automatic
+    /// (available parallelism, `URHUNTER_PARALLELISM` override), `1` is
+    /// sequential. Output is bit-identical for every value.
+    pub parallelism: usize,
 }
 
 impl Default for ClassifyConfig {
@@ -48,6 +53,7 @@ impl Default for ClassifyConfig {
             use_http_exclusion: true,
             today: 2_500,
             pdns_window: SIX_YEARS_DAYS,
+            parallelism: 0,
         }
     }
 }
@@ -64,6 +70,29 @@ pub fn classify_ur(
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> ClassifiedUr {
+    // Single-UR entry point: resolve just this record's addresses.
+    let attrs = AttrIndex::build(metadata, ur_ips(ur));
+    classify_ur_with(ur, correct, protective, metadata, &attrs, history, cfg)
+}
+
+/// Every address a UR's classification consults metadata for: its own A
+/// records plus MX follow-up (auxiliary) addresses.
+fn ur_ips(ur: &CollectedUr) -> impl Iterator<Item = Ipv4Addr> + '_ {
+    ur.records
+        .iter()
+        .chain(ur.aux_records.iter())
+        .filter_map(|r| r.rdata.as_a())
+}
+
+fn classify_ur_with(
+    ur: &CollectedUr,
+    correct: &CorrectDb,
+    protective: &ProtectiveDb,
+    metadata: &NetDb,
+    attrs: &AttrIndex,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+) -> ClassifiedUr {
     // Protective records first: they are the provider's own answers and
     // must not be confused with customer data.
     if protective.matches(ur) {
@@ -77,9 +106,9 @@ pub fn classify_ur(
         };
     }
     match ur.key.rtype {
-        RecordType::A => classify_a(ur, correct, metadata, history, cfg),
+        RecordType::A => classify_a(ur, correct, metadata, attrs, history, cfg),
         RecordType::Txt => classify_txt(ur, correct, history, cfg),
-        RecordType::Mx => classify_mx(ur, correct, metadata, history, cfg),
+        RecordType::Mx => classify_mx(ur, correct, metadata, attrs, history, cfg),
         _ => ClassifiedUr {
             ur: ur.clone(),
             category: UrCategory::Unknown,
@@ -107,6 +136,7 @@ fn classify_a(
     ur: &CollectedUr,
     correct: &CorrectDb,
     metadata: &NetDb,
+    attrs: &AttrIndex,
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> ClassifiedUr {
@@ -118,14 +148,15 @@ fn classify_a(
     let mut geos = HashSet::new();
     let mut certs = HashSet::new();
     for ip in &ips {
-        if let Some(a) = metadata.asn_of(*ip) {
-            asns.insert(a.asn);
+        let a = attrs.get_or_resolve(metadata, *ip);
+        if let Some(asn) = a.asn {
+            asns.insert(asn);
         }
-        if let Some(g) = metadata.geo_of(*ip) {
+        if let Some(g) = a.geo {
             geos.insert((g.country, g.city));
         }
-        if let Some(c) = metadata.cert_of(*ip) {
-            certs.insert(c.fingerprint);
+        if let Some(fp) = a.cert_fp {
+            certs.insert(fp);
         }
     }
 
@@ -148,8 +179,10 @@ fn classify_a(
     } else if cfg.use_http_exclusion {
         // Parking/redirect keyword exclusion over the HTTP profiles of the
         // UR's addresses.
-        let kinds: Vec<PageKind> =
-            ips.iter().filter_map(|ip| metadata.http_of(*ip).map(|h| h.kind)).collect();
+        let kinds: Vec<PageKind> = ips
+            .iter()
+            .filter_map(|ip| attrs.get_or_resolve(metadata, *ip).http_kind)
+            .collect();
         if !kinds.is_empty() && kinds.iter().all(|k| *k == PageKind::Parking) {
             reason = Some(CorrectReason::Parked);
         } else if !kinds.is_empty() && kinds.iter().all(|k| *k == PageKind::Redirect) {
@@ -211,6 +244,7 @@ fn classify_mx(
     ur: &CollectedUr,
     correct: &CorrectDb,
     metadata: &NetDb,
+    attrs: &AttrIndex,
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> ClassifiedUr {
@@ -236,10 +270,11 @@ fn classify_mx(
         let mut asns = HashSet::new();
         let mut geos = HashSet::new();
         for ip in &ips {
-            if let Some(a) = metadata.asn_of(*ip) {
-                asns.insert(a.asn);
+            let a = attrs.get_or_resolve(metadata, *ip);
+            if let Some(asn) = a.asn {
+                asns.insert(asn);
             }
-            if let Some(g) = metadata.geo_of(*ip) {
+            if let Some(g) = a.geo {
                 geos.insert((g.country, g.city));
             }
         }
@@ -263,6 +298,17 @@ fn classify_mx(
 }
 
 /// Classify a whole batch.
+///
+/// Two optimizations over calling [`classify_ur`] in a loop, neither of
+/// which changes the output:
+///
+/// 1. all network attributes (ASN, geo, certificate, HTTP kind) are
+///    resolved once per *distinct* address into an [`AttrIndex`] instead
+///    of once per UR that mentions the address;
+/// 2. both the attribute resolution and the per-UR classification run on
+///    a deterministic chunked [`par_map`], honoring `cfg.parallelism`.
+///    Results land in index order, so the output is bit-identical to the
+///    sequential path for every worker count.
 pub fn classify_all(
     urs: &[CollectedUr],
     correct: &CorrectDb,
@@ -271,9 +317,25 @@ pub fn classify_all(
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> Vec<ClassifiedUr> {
-    urs.iter()
-        .map(|ur| classify_ur(ur, correct, protective, metadata, history, cfg))
-        .collect()
+    let workers = Parallelism::from_knob(cfg.parallelism);
+
+    // Distinct addresses across the batch, in first-seen order (the order
+    // only affects scheduling, never results — the index is keyed by IP).
+    let mut seen = HashSet::new();
+    let mut distinct: Vec<Ipv4Addr> = Vec::new();
+    for ur in urs {
+        for ip in ur_ips(ur) {
+            if seen.insert(ip) {
+                distinct.push(ip);
+            }
+        }
+    }
+    let resolved = par_map(&distinct, workers, |ip| (*ip, AttrIndex::resolve(metadata, *ip)));
+    let attrs = AttrIndex::from_resolved(resolved);
+
+    par_map(urs, workers, |ur| {
+        classify_ur_with(ur, correct, protective, metadata, &attrs, history, cfg)
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::schedule::QueryScheduler;
 use crate::types::{CollectedUr, CorrectDb, DomainProfile, ProtectiveDb, UrKey};
 use dnswire::{Name, Rcode, RecordType};
 use simnet::Network;
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 use worldgen::{NsInfo, World};
 
@@ -49,6 +50,43 @@ pub fn select_nameservers(world: &World, min_tail_sites: u32) -> Vec<NsInfo> {
         .collect()
 }
 
+/// One UR probe: query `ns_ip` for `(domain, rtype)`, keep NOERROR
+/// responses whose answer section carries records of exactly that name and
+/// type, and assemble the [`CollectedUr`]. Shared by the bulk scan and the
+/// §4.2 false-negative evaluation (which replays *delegated* records
+/// through the identical path).
+pub(crate) fn query_one_ur(
+    net: &mut Network,
+    scanner_ip: Ipv4Addr,
+    ns_ip: Ipv4Addr,
+    domain: &Name,
+    rtype: RecordType,
+    qid: u16,
+    provider: &str,
+) -> Option<CollectedUr> {
+    let resp = authdns::dns_query(net, scanner_ip, ns_ip, domain, rtype, qid)?;
+    if resp.rcode() != Rcode::NoError {
+        return None;
+    }
+    let records: Vec<dnswire::Record> = resp
+        .answers
+        .iter()
+        .filter(|r| r.rtype() == rtype && r.name == *domain)
+        .cloned()
+        .collect();
+    if records.is_empty() {
+        return None;
+    }
+    Some(CollectedUr {
+        key: UrKey { ns_ip, domain: domain.clone(), rtype },
+        records,
+        aux_records: Vec::new(),
+        provider: provider.into(),
+        authoritative: resp.flags.authoritative,
+        recursion_available: resp.flags.recursion_available,
+    })
+}
+
 /// Collect URs: query every selected nameserver for every target domain,
 /// excluding pairs where the domain is exactly delegated to that server.
 /// Only NOERROR responses with answers yield URs.
@@ -60,18 +98,28 @@ pub fn collect_urs(
     cfg: &CollectConfig,
     scheduler: &mut QueryScheduler,
 ) -> Vec<CollectedUr> {
+    // Per-target delegated-server sets, resolved once. The old per-pair
+    // lookup re-ran registered_suffix + delegation_of and cloned the
+    // delegation Vec for every (nameserver, target) combination —
+    // O(N·M) allocations; this is O(N + M).
+    let delegated_ips: Vec<HashSet<Ipv4Addr>> = targets
+        .iter()
+        .map(|domain| {
+            world_registry
+                .registered_suffix(domain)
+                .and_then(|suffix| world_registry.delegation_of(&suffix))
+                .map(|servers| servers.iter().map(|(_, ip)| *ip).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
     let mut tasks: Vec<(usize, usize, RecordType)> = Vec::new();
     for (ni, ns) in nameservers.iter().enumerate() {
-        for (di, domain) in targets.iter().enumerate() {
+        for (di, delegated) in delegated_ips.iter().enumerate() {
             // Exclude domains exactly delegated to this nameserver — their
             // records there are authoritative, not undelegated. Delegation
             // of an enclosing registered suffix covers subdomain targets.
-            let delegated_here = world_registry
-                .registered_suffix(domain)
-                .and_then(|suffix| world_registry.delegation_of(&suffix).map(|d| d.to_vec()))
-                .map(|servers| servers.iter().any(|(_, ip)| *ip == ns.ip))
-                .unwrap_or(false);
-            if delegated_here {
+            if delegated.contains(&ns.ip) {
                 continue;
             }
             for &rt in &cfg.query_types {
@@ -87,26 +135,16 @@ pub fn collect_urs(
         let domain = &targets[di];
         scheduler.admit(net, ns.ip);
         qid = qid.wrapping_add(1).max(1);
-        let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, ns.ip, domain, rtype, qid) else {
+        let Some(mut ur) =
+            query_one_ur(net, cfg.scanner_ip, ns.ip, domain, rtype, qid, &ns.provider)
+        else {
             continue;
         };
-        if resp.rcode() != Rcode::NoError {
-            continue;
-        }
-        let records: Vec<dnswire::Record> = resp
-            .answers
-            .iter()
-            .filter(|r| r.rtype() == rtype && r.name == *domain)
-            .cloned()
-            .collect();
-        if records.is_empty() {
-            continue;
-        }
         // MX follow-up: resolve each exchange host's address at the same
         // nameserver, so the analysis has corresponding IPs to judge.
-        let mut aux_records = Vec::new();
         if rtype == RecordType::Mx {
-            let exchanges: Vec<dnswire::Name> = records
+            let exchanges: Vec<dnswire::Name> = ur
+                .records
                 .iter()
                 .filter_map(|r| match &r.rdata {
                     dnswire::RData::Mx { exchange, .. } => Some(exchange.clone()),
@@ -119,7 +157,7 @@ pub fn collect_urs(
                     authdns::dns_query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
                 {
                     if aux.rcode() == Rcode::NoError {
-                        aux_records.extend(
+                        ur.aux_records.extend(
                             aux.answers
                                 .iter()
                                 .filter(|r| r.rtype() == RecordType::A)
@@ -129,14 +167,7 @@ pub fn collect_urs(
                 }
             }
         }
-        out.push(CollectedUr {
-            key: UrKey { ns_ip: ns.ip, domain: domain.clone(), rtype },
-            records,
-            aux_records,
-            provider: ns.provider.clone(),
-            authoritative: resp.flags.authoritative,
-            recursion_available: resp.flags.recursion_available,
-        });
+        out.push(ur);
     }
     out
 }

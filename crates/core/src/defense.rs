@@ -80,7 +80,7 @@ impl EgressMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intel::{IdsEngine, Sandbox};
+    use intel::IdsEngine;
     use worldgen::{World, WorldConfig};
 
     /// The sandbox victim's direct UR lookups get flagged; its queries to

@@ -4,12 +4,13 @@
 use crate::analyze::{analyze, run_sandboxes, Analysis, AnalyzeConfig};
 use crate::classify::{classify_all, ClassifyConfig};
 use crate::collect::{
-    collect_correct, collect_protective, collect_urs, select_nameservers, CollectConfig,
+    collect_correct, collect_protective, collect_urs, query_one_ur, select_nameservers,
+    CollectConfig,
 };
 use crate::report::{build_report, Report};
 use crate::schedule::QueryScheduler;
-use crate::types::{ClassifiedUr, CollectedUr, CorrectDb, ProtectiveDb, UrCategory, UrKey};
-use dnswire::{Rcode, RecordType};
+use crate::types::{ClassifiedUr, CollectedUr, CorrectDb, ProtectiveDb, UrCategory};
+use dnswire::RecordType;
 use simnet::SimDuration;
 use worldgen::{NsInfo, World};
 
@@ -29,6 +30,12 @@ pub struct HunterConfig {
     /// Recover legitimate subdomains from passive DNS and add them to the
     /// target list (§6 future work).
     pub expand_targets_from_pdns: bool,
+    /// Worker threads for the CPU-bound stages (classification and the
+    /// analysis vendor join): `0` is automatic (available parallelism,
+    /// `URHUNTER_PARALLELISM` override), `1` is sequential, `n` fixed.
+    /// Results are bit-identical for every value; collection stays
+    /// single-threaded because the simulated network is not `Sync`.
+    pub parallelism: usize,
 }
 
 impl HunterConfig {
@@ -42,6 +49,7 @@ impl HunterConfig {
             per_server_interval: SimDuration::ZERO,
             scheduler_seed: 0x5545,
             expand_targets_from_pdns: false,
+            parallelism: 0,
         }
     }
 
@@ -72,6 +80,27 @@ impl HunterConfig {
     pub fn with_payload_matching(mut self) -> Self {
         self.analyze.match_txt_payloads = true;
         self
+    }
+
+    /// Set the worker-thread knob (see [`HunterConfig::parallelism`]).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// The classify config with the pipeline-level overrides applied.
+    fn classify_cfg(&self, today: pdns::Day) -> ClassifyConfig {
+        let mut cfg = self.classify.clone();
+        cfg.today = today;
+        cfg.parallelism = self.parallelism;
+        cfg
+    }
+
+    /// The analyze config with the pipeline-level overrides applied.
+    fn analyze_cfg(&self) -> AnalyzeConfig {
+        let mut cfg = self.analyze.clone();
+        cfg.parallelism = self.parallelism;
+        cfg
     }
 }
 
@@ -136,8 +165,7 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     );
     world.net.trace.set_enabled(true);
 
-    let mut classify_cfg = cfg.classify.clone();
-    classify_cfg.today = world.config.today;
+    let classify_cfg = cfg.classify_cfg(world.config.today);
     let mut classified = classify_all(
         &collected,
         &correct_db,
@@ -147,16 +175,17 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         &classify_cfg,
     );
 
+    let analyze_cfg = cfg.analyze_cfg();
     let samples = world.samples.clone();
     let (reports, ids_malicious) =
-        run_sandboxes(&mut world.net, &world.sandbox, &world.ids, &samples, &cfg.analyze);
+        run_sandboxes(&mut world.net, &world.sandbox, &world.ids, &samples, &analyze_cfg);
     let analysis = analyze(
         &mut classified,
         &world.intel,
         reports,
         ids_malicious,
         &world.payload_sigs,
-        &cfg.analyze,
+        &analyze_cfg,
     );
     let report = build_report(&classified, &analysis, &world.intel);
 
@@ -172,8 +201,7 @@ pub fn evaluate_false_negatives(
     protective_db: &ProtectiveDb,
     cfg: &HunterConfig,
 ) -> usize {
-    let mut classify_cfg = cfg.classify.clone();
-    classify_cfg.today = world.config.today;
+    let classify_cfg = cfg.classify_cfg(world.config.today);
     let targets: Vec<dnswire::Name> = world.tranco.domains().to_vec();
     let mut delegated_inputs: Vec<CollectedUr> = Vec::new();
     let mut qid = 0x6000u16;
@@ -184,27 +212,19 @@ pub fn evaluate_false_negatives(
         for (_, ns_ip) in delegation.iter().take(1) {
             for &rtype in &cfg.collect.query_types {
                 qid = qid.wrapping_add(1).max(1);
-                let Some(resp) = authdns::dns_query(
+                // Same probe + assembly path as the bulk scan, so the
+                // evaluation exercises the exact production logic.
+                if let Some(ur) = query_one_ur(
                     &mut world.net,
                     cfg.collect.scanner_ip,
                     *ns_ip,
                     domain,
                     rtype,
                     qid,
-                ) else {
-                    continue;
-                };
-                if resp.rcode() != Rcode::NoError || resp.answers.is_empty() {
-                    continue;
+                    "delegated",
+                ) {
+                    delegated_inputs.push(ur);
                 }
-                delegated_inputs.push(CollectedUr {
-                    key: UrKey { ns_ip: *ns_ip, domain: domain.clone(), rtype },
-                    records: resp.answers.clone(),
-                    aux_records: Vec::new(),
-                    provider: "delegated".into(),
-                    authoritative: resp.flags.authoritative,
-                    recursion_available: resp.flags.recursion_available,
-                });
             }
         }
     }

@@ -228,10 +228,7 @@ impl Name {
 }
 
 fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+    a.eq_ignore_ascii_case(b)
 }
 
 fn canonical_suffix_key(labels: &[Box<[u8]>]) -> String {

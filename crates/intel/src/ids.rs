@@ -229,11 +229,10 @@ impl IdsEngine {
         }
         // Stateful pass: per (src ip, dst ip), collect (timestamp, port)
         // sequences and slide the window.
+        type PairEvents = Vec<(u64, u16, Endpoint, Endpoint)>;
         for rule in &self.threshold_rules {
-            let mut by_pair: std::collections::HashMap<
-                (Ipv4Addr, Ipv4Addr),
-                Vec<(u64, u16, Endpoint, Endpoint)>,
-            > = std::collections::HashMap::new();
+            let mut by_pair: std::collections::HashMap<(Ipv4Addr, Ipv4Addr), PairEvents> =
+                std::collections::HashMap::new();
             for flow in flows {
                 if flow.disposition == Disposition::Dropped {
                     continue;

@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         let agg = aggregator();
-        let ips = vec![ip(1), ip(2), ip(3)];
+        let ips = [ip(1), ip(2), ip(3)];
         let hist = agg.flag_count_histogram(ips.iter());
         assert_eq!(hist.get("1-2"), Some(&1)); // ip2
         assert_eq!(hist.get("3-4"), Some(&1)); // ip1
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn tag_prevalence_counts_multi_tags() {
         let agg = aggregator();
-        let ips = vec![ip(1), ip(2)];
+        let ips = [ip(1), ip(2)];
         let prev = agg.tag_prevalence(ips.iter());
         assert_eq!(prev.get(&ThreatTag::Trojan), Some(&1));
         assert_eq!(prev.get(&ThreatTag::CnC), Some(&1));

@@ -47,6 +47,7 @@ impl Cidr {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // prefix length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }

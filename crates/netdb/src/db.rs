@@ -82,14 +82,20 @@ impl CertInfo {
         }
     }
 
-    /// Whether the certificate covers `host` (exact or one-level wildcard).
+    /// Whether the certificate covers `host` (exact SAN or one-level
+    /// wildcard). Per RFC 6125 SAN matching, `*.example.com` covers exactly
+    /// one extra label and never the apex itself: apex coverage must come
+    /// from an explicit `example.com` SAN.
     pub fn covers(&self, host: &str) -> bool {
         self.sans.iter().any(|san| {
             if let Some(suffix) = san.strip_prefix("*.") {
                 host.strip_suffix(suffix)
-                    .map(|rest| rest.ends_with('.') && rest[..rest.len() - 1].find('.').is_none() && !rest[..rest.len()-1].is_empty())
+                    .map(|rest| {
+                        rest.ends_with('.')
+                            && !rest[..rest.len() - 1].is_empty()
+                            && rest[..rest.len() - 1].find('.').is_none()
+                    })
                     .unwrap_or(false)
-                    || host == suffix
             } else {
                 san == host
             }
@@ -190,6 +196,9 @@ pub struct IpInfo {
 pub struct NetDb {
     // prefixes bucketed by length for longest-prefix match
     prefixes: HashMap<u8, HashMap<Cidr, AsInfo>>,
+    // the bucket lengths that actually exist, sorted descending, so lookups
+    // probe only populated lengths instead of all 33
+    present_lens: Vec<u8>,
     geo: HashMap<Ipv4Addr, GeoInfo>,
     certs: HashMap<Ipv4Addr, CertInfo>,
     http: HashMap<Ipv4Addr, HttpProfile>,
@@ -203,20 +212,25 @@ impl NetDb {
 
     /// Route `prefix` to an AS. Later insertions overwrite.
     pub fn add_prefix(&mut self, prefix: Cidr, asn: u32, org: &str) {
+        let len = prefix.len();
         self.prefixes
-            .entry(prefix.len())
+            .entry(len)
             .or_default()
             .insert(prefix, AsInfo { asn, org: org.to_string() });
+        if let Err(pos) = self.present_lens.binary_search_by(|l| len.cmp(l)) {
+            self.present_lens.insert(pos, len);
+        }
     }
 
-    /// Longest-prefix-match AS lookup.
+    /// Longest-prefix-match AS lookup, probing only the prefix lengths
+    /// present in the table (a handful in practice) from longest to
+    /// shortest.
     pub fn asn_of(&self, ip: Ipv4Addr) -> Option<&AsInfo> {
         let host = Cidr::new(ip, 32);
-        for len in (0..=32u8).rev() {
-            if let Some(bucket) = self.prefixes.get(&len) {
-                if let Some(info) = bucket.get(&host.truncate(len)) {
-                    return Some(info);
-                }
+        for &len in &self.present_lens {
+            let bucket = self.prefixes.get(&len).expect("present length has a bucket");
+            if let Some(info) = bucket.get(&host.truncate(len)) {
+                return Some(info);
             }
         }
         None
@@ -268,6 +282,79 @@ impl NetDb {
     }
 }
 
+/// The classification-relevant attributes of one address, resolved once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpAttrs {
+    /// AS number from longest-prefix match, if routed.
+    pub asn: Option<u32>,
+    /// Geolocation, if known.
+    pub geo: Option<GeoInfo>,
+    /// Served-certificate fingerprint, if any.
+    pub cert_fp: Option<u64>,
+    /// HTTP page kind, if the host serves HTTP.
+    pub http_kind: Option<PageKind>,
+}
+
+/// A per-distinct-IP attribute table precomputed before classification.
+///
+/// The Appendix-B uniformity conditions consult ASN, geo, certificate and
+/// HTTP data for every address of every UR. The same addresses recur across
+/// thousands of URs (shared C2s, CDN nodes, protective sinks), so the
+/// pipeline resolves each distinct address exactly once up front instead of
+/// re-running longest-prefix matches and map probes per UR.
+#[derive(Debug, Default, Clone)]
+pub struct AttrIndex {
+    map: HashMap<Ipv4Addr, IpAttrs>,
+}
+
+impl AttrIndex {
+    /// Resolve every address in `ips` (duplicates are fine) against `db`.
+    pub fn build(db: &NetDb, ips: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        let mut map = HashMap::new();
+        for ip in ips {
+            map.entry(ip).or_insert_with(|| Self::resolve(db, ip));
+        }
+        AttrIndex { map }
+    }
+
+    /// Resolve one address directly (the slow path [`AttrIndex::build`]
+    /// amortizes).
+    pub fn resolve(db: &NetDb, ip: Ipv4Addr) -> IpAttrs {
+        IpAttrs {
+            asn: db.asn_of(ip).map(|a| a.asn),
+            geo: db.geo_of(ip),
+            cert_fp: db.cert_of(ip).map(|c| c.fingerprint),
+            http_kind: db.http_of(ip).map(|h| h.kind),
+        }
+    }
+
+    /// Build from already-resolved pairs (the parallel build path).
+    pub fn from_resolved(pairs: impl IntoIterator<Item = (Ipv4Addr, IpAttrs)>) -> Self {
+        AttrIndex { map: pairs.into_iter().collect() }
+    }
+
+    /// The attributes of `ip`, when it was part of the build set.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&IpAttrs> {
+        self.map.get(&ip)
+    }
+
+    /// Attributes of `ip`, falling back to a direct resolve when the build
+    /// set missed it (keeps single-UR entry points correct).
+    pub fn get_or_resolve(&self, db: &NetDb, ip: Ipv4Addr) -> IpAttrs {
+        self.map.get(&ip).copied().unwrap_or_else(|| Self::resolve(db, ip))
+    }
+
+    /// Number of distinct addresses resolved.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +400,57 @@ mod tests {
         assert!(c.covers("www.example.com"));
         assert!(!c.covers("a.b.example.com"));
         assert!(!c.covers("badexample.com"));
+    }
+
+    #[test]
+    fn wildcard_san_does_not_cover_apex() {
+        // for_domain covers the apex only because it also carries the
+        // explicit apex SAN; a bare wildcard must not.
+        let wildcard_only = CertInfo {
+            subject: "*.example.com".into(),
+            issuer: "SimCA".into(),
+            sans: vec!["*.example.com".into()],
+            fingerprint: 1,
+        };
+        assert!(!wildcard_only.covers("example.com"));
+        assert!(wildcard_only.covers("www.example.com"));
+        assert!(!wildcard_only.covers("a.b.example.com"));
+        assert!(!wildcard_only.covers(".example.com"));
+        assert!(!wildcard_only.covers("xexample.com"));
+    }
+
+    #[test]
+    fn apex_coverage_requires_explicit_apex_san() {
+        let both = CertInfo::for_domain("example.com", "SimCA");
+        assert!(both.sans.iter().any(|s| s == "example.com"));
+        let mut wildcard_only = both.clone();
+        wildcard_only.sans.retain(|s| s.starts_with("*."));
+        assert!(both.covers("example.com"));
+        assert!(!wildcard_only.covers("example.com"));
+    }
+
+    #[test]
+    fn attr_index_matches_direct_lookups() {
+        let mut db = NetDb::new();
+        let a = ip("203.0.113.5");
+        let b = ip("203.0.113.6");
+        db.add_prefix("203.0.113.0/24".parse().unwrap(), 64500, "TestNet");
+        db.set_geo(a, GeoInfo::new("DE", 1));
+        db.set_cert(a, CertInfo::for_domain("example.de", "SimCA"));
+        db.set_http(b, HttpProfile::parking());
+        let idx = AttrIndex::build(&db, [a, b, a, ip("8.8.8.8")]);
+        assert_eq!(idx.len(), 3, "duplicates collapse");
+        let got = idx.get(a).unwrap();
+        assert_eq!(got.asn, Some(64500));
+        assert_eq!(got.geo, db.geo_of(a));
+        assert_eq!(got.cert_fp, db.cert_of(a).map(|c| c.fingerprint));
+        assert_eq!(got.http_kind, None);
+        assert_eq!(idx.get(b).unwrap().http_kind, Some(PageKind::Parking));
+        let missing = idx.get(ip("8.8.8.8")).unwrap();
+        assert_eq!(*missing, IpAttrs { asn: None, geo: None, cert_fp: None, http_kind: None });
+        // fall-back resolve for an address outside the build set
+        let c = ip("203.0.113.7");
+        assert_eq!(idx.get_or_resolve(&db, c).asn, Some(64500));
     }
 
     #[test]

@@ -56,4 +56,33 @@ proptest! {
             prop_assert!(db.asn_of(far).is_none());
         }
     }
+
+    #[test]
+    fn present_lengths_lpm_agrees_with_full_scan(
+        prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..12),
+        probes in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        // The optimized asn_of probes only the prefix lengths present in
+        // the table; it must agree with the naive 0..=32 reference scan on
+        // arbitrary tables, including empty ones and /0 catch-alls.
+        let mut db = NetDb::new();
+        let mut reference: Vec<(Cidr, u32)> = Vec::new();
+        for (i, (addr, len)) in prefixes.iter().enumerate() {
+            let cidr = Cidr::new(Ipv4Addr::from(*addr), *len);
+            db.add_prefix(cidr, 64_000 + i as u32, "AS");
+            // later insertions overwrite equal prefixes, mirroring NetDb
+            reference.retain(|(c, _)| *c != cidr);
+            reference.push((cidr, 64_000 + i as u32));
+        }
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            let expected = (0..=32u8).rev().find_map(|len| {
+                reference
+                    .iter()
+                    .find(|(c, _)| c.len() == len && c.contains(ip))
+                    .map(|(_, asn)| *asn)
+            });
+            prop_assert_eq!(db.asn_of(ip).map(|a| a.asn), expected);
+        }
+    }
 }

@@ -80,7 +80,7 @@ pub struct AttackerPlan<'a> {
 /// (1-2: 77.9%, 3-4: 16.3%, 5-6: 2.0%, 7-11: 3.8%).
 pub fn sample_vendor_count(rng: &mut StdRng, max: usize) -> usize {
     let roll: f64 = rng.random_range(0.0..1.0);
-    let count = if roll < 0.779 {
+    let count: usize = if roll < 0.779 {
         rng.random_range(1..=2)
     } else if roll < 0.942 {
         rng.random_range(3..=4)
@@ -155,7 +155,8 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
         let apex = plan.tranco.domains()[idx].clone();
         // 15% target a subdomain of the apex instead.
         let (domain, class) = if plan.rng.random_bool(0.15) {
-            let label: &[u8] = [&b"api"[..], b"cdn", b"raw", b"mail"][plan.rng.random_range(0..4)];
+            let label: &[u8] =
+                [&b"api"[..], b"cdn", b"raw", b"mail"][plan.rng.random_range(0..4usize)];
             (apex.child(label).expect("child fits"), DomainClass::Subdomain)
         } else {
             (apex, DomainClass::RegisteredSld)

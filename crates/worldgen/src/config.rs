@@ -98,6 +98,32 @@ impl WorldConfig {
         }
     }
 
+    /// A benchmark-sized world between [`WorldConfig::small`] and
+    /// [`WorldConfig::default_scale`]: enough URs for the parallel
+    /// classification stage to matter, while the single-threaded
+    /// collection stage stays a manageable share of the run.
+    pub fn medium() -> Self {
+        WorldConfig {
+            seed: 777,
+            top_domains: 300,
+            synthetic_providers: 24,
+            ns_per_synthetic: (2, 5),
+            open_resolvers: 90,
+            unstable_resolver_fraction: 0.12,
+            manipulated_resolver_fraction: 0.04,
+            attack_campaigns: 900,
+            malicious_campaign_fraction: 0.30,
+            label_only_fraction: 0.342,
+            ids_only_fraction: 0.366,
+            benign_misconfig_urs: 90,
+            past_delegation_urs: 30,
+            parked_urs: 30,
+            misconfigured_recursive_ns: 3,
+            provider_hosted_fraction: 0.71,
+            today: 2_500,
+        }
+    }
+
     /// Replace the seed (for seed-sweep ablations).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -111,7 +137,7 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for cfg in [WorldConfig::small(), WorldConfig::default_scale()] {
+        for cfg in [WorldConfig::small(), WorldConfig::medium(), WorldConfig::default_scale()] {
             assert!(cfg.top_domains >= 10);
             assert!(cfg.ns_per_synthetic.0 <= cfg.ns_per_synthetic.1);
             assert!(cfg.label_only_fraction + cfg.ids_only_fraction < 1.0);

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal property-testing harness with the same surface the tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! [`strategy::Strategy`] with `prop_map`, `any::<T>()`, `Just`, integer
+//! ranges, tuples, [`collection::vec`]/[`collection::btree_set`], and
+//! regex-shaped string generation. Generation is deterministic per test
+//! (seeded from the test path), and there is no shrinking: a failing case
+//! reports its inputs and panics.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property, raised by the `prop_assert*` macros.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Wrap a failure message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test generator, seeded from the test's path.
+    pub fn rng_for(test_path: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use crate::strategy::RegexStrategy;
+
+    /// A strategy generating strings matching `pattern`.
+    ///
+    /// Supports the subset of regex syntax the workspace uses: character
+    /// classes with ranges, groups, `?`, `*`, `+`, and `{m}`/`{m,n}`
+    /// repetition. Returns `Err` on syntax this generator cannot handle.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        RegexStrategy::compile(pattern)
+    }
+
+    /// Compile-or-panic helper so `&str` can act as a strategy directly.
+    pub(crate) fn must_compile(pattern: &str) -> RegexStrategy {
+        RegexStrategy::compile(pattern)
+            .unwrap_or_else(|e| panic!("bad regex strategy {pattern:?}: {e}"))
+    }
+
+    #[allow(unused_imports)]
+    use super::strategy as _; // keep module tree obvious
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::strategy::Strategy as _;
+        use crate::test_runner::rng_for;
+
+        #[test]
+        fn generated_strings_match_shape() {
+            let s = string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap();
+            let mut rng = rng_for("shape");
+            for _ in 0..500 {
+                let v = s.generate(&mut rng);
+                assert!(!v.is_empty() && v.len() <= 16, "bad length: {v:?}");
+                assert!(
+                    v.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+                    "bad char in {v:?}"
+                );
+                assert!(!v.starts_with('-') && !v.ends_with('-'), "edge dash in {v:?}");
+            }
+        }
+
+        #[test]
+        fn printable_range_class() {
+            let s = string_regex("[ -~]{0,40}").unwrap();
+            let mut rng = rng_for("printable");
+            for _ in 0..200 {
+                let v = s.generate(&mut rng);
+                assert!(v.len() <= 40);
+                assert!(v.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A size specification: fixed, half-open, or inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate ordered sets of `element` values. When the element space is
+    /// too small to reach the drawn size, the set saturates (bounded
+    /// attempts), matching proptest's practical behaviour.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 20 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a boolean property; on failure the current case errors out.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality; on failure the current case errors out with both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality; on failure the current case errors out.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_ne!({}, {}) failed: both {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::box_strategy($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+}

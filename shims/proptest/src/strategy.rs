@@ -1,0 +1,446 @@
+//! Value-generation strategies: the concrete types behind `any`, `Just`,
+//! ranges, tuples, `prop_oneof!`, and regex-shaped strings.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt};
+
+/// A source of generated values.
+///
+/// Unlike real proptest there is no shrinking; `generate` draws one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Box a strategy by its value type (the `prop_oneof!` backend; a named
+/// generic function so integer-literal inference unifies across arms).
+pub fn box_strategy<T, S>(strategy: S) -> Box<dyn Strategy<Value = T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the macro's boxed arms.
+    ///
+    /// # Panics
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::must_compile(self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-shaped string generation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges
+    Group(Vec<Vec<(Node, Repeat)>>), // alternatives, each a sequence
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32, // inclusive
+}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// A compiled pattern that generates matching strings.
+///
+/// Supported syntax: literals, `[...]` classes with ranges, `(...)` groups,
+/// and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`. Alternation, anchors,
+/// and escapes are not supported and yield a compile error.
+pub struct RegexStrategy {
+    alts: Vec<Vec<(Node, Repeat)>>,
+}
+
+impl RegexStrategy {
+    /// Compile `pattern`, or explain what is unsupported.
+    pub fn compile(pattern: &str) -> Result<Self, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternatives(&chars, &mut pos, /*in_group=*/ false)?;
+        if pos != chars.len() {
+            return Err(format!("unbalanced pattern at offset {pos}"));
+        }
+        Ok(RegexStrategy { alts })
+    }
+}
+
+fn parse_alternatives(
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Result<Vec<Vec<(Node, Repeat)>>, String> {
+    let mut alts = vec![parse_sequence(chars, pos, in_group)?];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        alts.push(parse_sequence(chars, pos, in_group)?);
+    }
+    Ok(alts)
+}
+
+fn parse_sequence(
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Result<Vec<(Node, Repeat)>, String> {
+    let mut out = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let node = match c {
+            ')' if in_group => break,
+            '|' => break,
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos)?
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_alternatives(chars, pos, true)?;
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                if *pos + 1 >= chars.len() {
+                    return Err("dangling escape".into());
+                }
+                let escaped = chars[*pos + 1];
+                *pos += 2;
+                match escaped {
+                    // Unicode property classes: only \PC ("not control") is
+                    // used, approximated by printable ASCII plus Latin-1.
+                    'P' | 'p' => {
+                        if *pos >= chars.len() {
+                            return Err("dangling unicode property escape".into());
+                        }
+                        let prop = chars[*pos];
+                        *pos += 1;
+                        if escaped == 'P' && prop == 'C' {
+                            Node::Class(vec![(' ', '~'), ('¡', 'ÿ')])
+                        } else {
+                            return Err(format!("unsupported property \\{escaped}{prop}"));
+                        }
+                    }
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Literal(' '),
+                    'n' => Node::Literal('\n'),
+                    't' => Node::Literal('\t'),
+                    other if other.is_ascii_alphanumeric() => {
+                        return Err(format!("unsupported escape \\{other}"));
+                    }
+                    other => Node::Literal(other),
+                }
+            }
+            '^' | '$' | '.' => {
+                return Err(format!("unsupported regex construct {c:?}"));
+            }
+            other => {
+                *pos += 1;
+                Node::Literal(other)
+            }
+        };
+        // the match above advances past the node except for the breaks
+        let repeat = parse_quantifier(chars, pos)?;
+        out.push((node, repeat));
+    }
+    Ok(out)
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            if hi < lo {
+                return Err(format!("inverted class range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+            *pos += 2;
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if *pos >= chars.len() {
+        return Err("unclosed character class".into());
+    }
+    *pos += 1; // the ']'
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(Node::Class(ranges))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<Repeat, String> {
+    if *pos >= chars.len() {
+        return Ok(Repeat { min: 1, max: 1 });
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Ok(Repeat { min: 0, max: 1 })
+        }
+        '*' => {
+            *pos += 1;
+            Ok(Repeat { min: 0, max: UNBOUNDED_CAP })
+        }
+        '+' => {
+            *pos += 1;
+            Ok(Repeat { min: 1, max: UNBOUNDED_CAP })
+        }
+        '{' => {
+            let close = chars[*pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unclosed {} quantifier")?
+                + *pos;
+            let body: String = chars[*pos + 1..close].iter().collect();
+            *pos = close + 1;
+            let (min, max) = match body.split_once(',') {
+                Some((m, "")) => {
+                    let m: u32 = m.trim().parse().map_err(|_| "bad {m,}")?;
+                    (m, m + UNBOUNDED_CAP)
+                }
+                Some((m, n)) => (
+                    m.trim().parse().map_err(|_| "bad {m,n}")?,
+                    n.trim().parse().map_err(|_| "bad {m,n}")?,
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().map_err(|_| "bad {n}")?;
+                    (n, n)
+                }
+            };
+            if max < min {
+                return Err(format!("quantifier max < min in {{{body}}}"));
+            }
+            Ok(Repeat { min, max })
+        }
+        _ => Ok(Repeat { min: 1, max: 1 }),
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = (rng.next_u64() % total as u64) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total");
+        }
+        Node::Group(alts) => generate_alternatives(alts, rng, out),
+    }
+}
+
+fn generate_alternatives(alts: &[Vec<(Node, Repeat)>], rng: &mut StdRng, out: &mut String) {
+    let idx = (rng.next_u64() % alts.len() as u64) as usize;
+    generate_sequence(&alts[idx], rng, out);
+}
+
+fn generate_sequence(seq: &[(Node, Repeat)], rng: &mut StdRng, out: &mut String) {
+    for (node, repeat) in seq {
+        let n = rng.random_range(repeat.min..=repeat.max);
+        for _ in 0..n {
+            generate_node(node, rng, out);
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        generate_alternatives(&self.alts, rng, &mut out);
+        out
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal, dependency-free implementation of exactly the surface the code
+//! uses: [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64),
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random_range`] /
+//! [`RngExt::random_bool`], and [`seq::IndexedRandom`] sampling without
+//! replacement. Everything is deterministic for a given seed, which is all
+//! the simulation requires.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose full state derives from one 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// state expansion. Fast, decent equidistribution, fully deterministic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1)
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Index-based random selection from slices.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Item;
+
+        /// One uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements sampled without replacement (all of
+        /// them when `amount >= len`), in selection order.
+        fn sample<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+
+        fn sample<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // partial Fisher-Yates over an index table
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom as _;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.random_range(1..=2);
+            assert!((1..=2).contains(&w));
+            let f: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: Vec<usize> = (0..50).collect();
+        let picked: Vec<usize> = v.sample(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "sample must not repeat");
+        assert_eq!(v.sample(&mut rng, 100).count(), 50);
+    }
+}

@@ -99,17 +99,13 @@ fn legitimate_subdomain_urs_stay_correct() {
             continue;
         }
         let labels: Vec<&[u8]> = u.ur.key.domain.labels().collect();
-        if labels[0] == b"www" || labels[0] == b"mail" {
-            if matches!(u.category, UrCategory::Unknown | UrCategory::Malicious) {
-                // Only attacker-planted ones may be suspicious; verify it
-                // really is attacker infrastructure.
-                let is_planted = world.truth.campaigns.iter().any(|c| c.domain == u.ur.key.domain);
-                assert!(
-                    is_planted,
-                    "legit subdomain {} wrongly suspicious",
-                    u.ur.key.domain
-                );
-            }
+        if (labels[0] == b"www" || labels[0] == b"mail")
+            && matches!(u.category, UrCategory::Unknown | UrCategory::Malicious)
+        {
+            // Only attacker-planted ones may be suspicious; verify it
+            // really is attacker infrastructure.
+            let is_planted = world.truth.campaigns.iter().any(|c| c.domain == u.ur.key.domain);
+            assert!(is_planted, "legit subdomain {} wrongly suspicious", u.ur.key.domain);
         }
     }
 }

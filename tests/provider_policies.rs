@@ -95,7 +95,7 @@ fn ns_delegation_verification_kills_urs() {
 /// domains shrinks — but does not eliminate — the attack surface.
 #[test]
 fn reserved_list_expansion_limits_targets() {
-    let mut world = World::generate(WorldConfig::small());
+    let world = World::generate(WorldConfig::small());
     let cf = world.provider_index("Cloudflare").unwrap();
     // Expand the blacklist to the top 20.
     let expanded: Vec<Name> = world.tranco.top(20).to_vec();
@@ -120,7 +120,7 @@ fn reserved_list_expansion_limits_targets() {
 /// legitimate owner cannot host it either — and there is no retrieval.
 #[test]
 fn route53_exhaustion_denies_legitimate_owner() {
-    let mut world = World::generate(WorldConfig::small());
+    let world = World::generate(WorldConfig::small());
     let amazon = world.provider_index("Amazon").unwrap();
     let victim = world
         .tranco
@@ -182,7 +182,7 @@ fn government_etld_urs_are_possible_and_detected() {
 /// the domain owner; the per-account nameserver split keeps both live.
 #[test]
 fn cross_user_duplicate_coexists_with_owner() {
-    let mut world = World::generate(WorldConfig::small());
+    let world = World::generate(WorldConfig::small());
     let cf = world.provider_index("Cloudflare").unwrap();
     // find a domain legitimately hosted AT Cloudflare
     let hosted_at_cf = world
