@@ -5,6 +5,9 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -16,5 +19,12 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== smoke: cargo run -p bench --bin table1 =="
 cargo run --release -p bench --bin table1
+
+echo "== smoke: cargo run -p bench --bin perf_snapshot =="
+cargo run --release -p bench --bin perf_snapshot
+grep -q '"pipeline_stream_ms"' BENCH_pipeline.json || {
+    echo "ci.sh: BENCH_pipeline.json is missing pipeline_stream_ms" >&2
+    exit 1
+}
 
 echo "ci.sh: all checks passed"

@@ -120,7 +120,11 @@ impl HostingPolicy {
             allow_subdomain: false,
             allow_sld: true,
             allow_etld: true,
-            duplicates: DuplicatePolicy { same_user: false, cross_user: false, no_retrieval: false },
+            duplicates: DuplicatePolicy {
+                same_user: false,
+                cross_user: false,
+                no_retrieval: false,
+            },
             reserved: Vec::new(),
             protective_records: false,
             sync_to_all_ns: false,
@@ -142,7 +146,11 @@ impl HostingPolicy {
         HostingPolicy {
             allow_unregistered: true,
             allow_subdomain: true,
-            duplicates: DuplicatePolicy { same_user: true, cross_user: true, no_retrieval: true },
+            duplicates: DuplicatePolicy {
+                same_user: true,
+                cross_user: true,
+                no_retrieval: true,
+            },
             ..Self::permissive(NsAllocation::RandomPool { per_zone: 4 })
         }
     }
@@ -158,7 +166,11 @@ impl HostingPolicy {
         HostingPolicy {
             allow_unregistered: true,
             allow_subdomain: true,
-            duplicates: DuplicatePolicy { same_user: false, cross_user: false, no_retrieval: true },
+            duplicates: DuplicatePolicy {
+                same_user: false,
+                cross_user: false,
+                no_retrieval: true,
+            },
             protective_records: true,
             ..Self::permissive(NsAllocation::GlobalFixed)
         }
@@ -169,7 +181,11 @@ impl HostingPolicy {
     pub fn cloudflare() -> Self {
         HostingPolicy {
             allow_subdomain: true,
-            duplicates: DuplicatePolicy { same_user: false, cross_user: true, no_retrieval: false },
+            duplicates: DuplicatePolicy {
+                same_user: false,
+                cross_user: true,
+                no_retrieval: false,
+            },
             sync_to_all_ns: true,
             ..Self::permissive(NsAllocation::AccountFixed { per_account: 2 })
         }
@@ -179,7 +195,11 @@ impl HostingPolicy {
     pub fn godaddy() -> Self {
         HostingPolicy {
             allow_subdomain: true,
-            duplicates: DuplicatePolicy { same_user: false, cross_user: false, no_retrieval: true },
+            duplicates: DuplicatePolicy {
+                same_user: false,
+                cross_user: false,
+                no_retrieval: true,
+            },
             ..Self::permissive(NsAllocation::GlobalFixed)
         }
     }
@@ -188,7 +208,11 @@ impl HostingPolicy {
     /// cross-user duplicates, retrieval supported.
     pub fn tencent() -> Self {
         HostingPolicy {
-            duplicates: DuplicatePolicy { same_user: false, cross_user: true, no_retrieval: false },
+            duplicates: DuplicatePolicy {
+                same_user: false,
+                cross_user: true,
+                no_retrieval: false,
+            },
             ..Self::permissive(NsAllocation::AccountFixed { per_account: 2 })
         }
     }
@@ -242,17 +266,33 @@ mod tests {
             .filter(|(_, p)| p.allow_subdomain)
             .map(|(n, _)| n)
             .collect();
-        assert_eq!(support, vec!["Alibaba Cloud", "Amazon", "ClouDNS", "Cloudflare", "Godaddy"]);
+        assert_eq!(
+            support,
+            vec![
+                "Alibaba Cloud",
+                "Amazon",
+                "ClouDNS",
+                "Cloudflare",
+                "Godaddy"
+            ]
+        );
     }
 
     #[test]
     fn table2_duplicate_columns() {
         let providers = HostingPolicy::studied_providers();
         let by = |f: fn(&DuplicatePolicy) -> bool| -> Vec<&str> {
-            providers.iter().filter(|(_, p)| f(&p.duplicates)).map(|(n, _)| *n).collect()
+            providers
+                .iter()
+                .filter(|(_, p)| f(&p.duplicates))
+                .map(|(n, _)| *n)
+                .collect()
         };
         assert_eq!(by(|d| d.same_user), vec!["Amazon"]);
-        assert_eq!(by(|d| d.cross_user), vec!["Amazon", "Cloudflare", "Tencent Cloud"]);
+        assert_eq!(
+            by(|d| d.cross_user),
+            vec!["Amazon", "Cloudflare", "Tencent Cloud"]
+        );
         assert_eq!(by(|d| d.no_retrieval), vec!["Amazon", "ClouDNS", "Godaddy"]);
     }
 

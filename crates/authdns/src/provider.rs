@@ -184,9 +184,7 @@ impl HostingProvider {
     /// allocation policy is account-fixed.
     pub fn create_account(&mut self) -> AccountId {
         let fixed_ns = match self.policy.allocation {
-            NsAllocation::AccountFixed { per_account } => {
-                self.pick_ns(per_account, &[])
-            }
+            NsAllocation::AccountFixed { per_account } => self.pick_ns(per_account, &[]),
             _ => Vec::new(),
         };
         self.accounts.push(Account { fixed_ns });
@@ -194,8 +192,9 @@ impl HostingProvider {
     }
 
     fn pick_ns(&mut self, count: usize, exclude: &[usize]) -> Vec<usize> {
-        let candidates: Vec<usize> =
-            (0..self.nameservers.len()).filter(|i| !exclude.contains(i)).collect();
+        let candidates: Vec<usize> = (0..self.nameservers.len())
+            .filter(|i| !exclude.contains(i))
+            .collect();
         let mut picked: Vec<usize> = candidates
             .sample(&mut self.rng, count.min(candidates.len()))
             .copied()
@@ -236,10 +235,12 @@ impl HostingProvider {
             })
             .unwrap_or_default();
         if !existing.is_empty() {
-            let same_user =
-                existing.iter().any(|id| self.zones[id.0 as usize].owner == account);
-            let cross_user =
-                existing.iter().any(|id| self.zones[id.0 as usize].owner != account);
+            let same_user = existing
+                .iter()
+                .any(|id| self.zones[id.0 as usize].owner == account);
+            let cross_user = existing
+                .iter()
+                .any(|id| self.zones[id.0 as usize].owner != account);
             if same_user && !self.policy.duplicates.same_user {
                 return Err(HostError::Duplicate);
             }
@@ -253,9 +254,9 @@ impl HostingProvider {
                 // Ensure distinct sets across accounts hosting the same
                 // domain (observed Cloudflare behaviour).
                 let account_set = self.accounts[account.0 as usize].fixed_ns.clone();
-                let collides = existing.iter().any(|id| {
-                    self.zones[id.0 as usize].assigned_ns == account_set
-                });
+                let collides = existing
+                    .iter()
+                    .any(|id| self.zones[id.0 as usize].assigned_ns == account_set);
                 if collides {
                     let taken: Vec<usize> = existing
                         .iter()
@@ -386,8 +387,12 @@ impl HostingProvider {
         // apex wins; among duplicates the oldest zone answers.
         let qlabels = q.qname.label_count();
         for take in (1..=qlabels).rev() {
-            let Some(suffix) = q.qname.suffix(take) else { continue };
-            let Some(ids) = self.by_domain.get(&suffix) else { continue };
+            let Some(suffix) = q.qname.suffix(take) else {
+                continue;
+            };
+            let Some(ids) = self.by_domain.get(&suffix) else {
+                continue;
+            };
             let best = ids
                 .iter()
                 .map(|id| &self.zones[id.0 as usize])
@@ -482,8 +487,13 @@ mod tests {
     fn host_and_answer_undelegated_record() {
         let mut p = provider(HostingPolicy::cloudns(), 4);
         let acct = p.create_account();
-        let zid = p.host_domain(acct, &n("trusted.com"), DomainClass::RegisteredSld).unwrap();
-        p.add_record(zid, Record::new(n("trusted.com"), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))));
+        let zid = p
+            .host_domain(acct, &n("trusted.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            zid,
+            Record::new(n("trusted.com"), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))),
+        );
         // global-fixed: every NS answers
         for (_, ip) in p.nameservers().to_vec() {
             match p.answer(ip, &Question::new(n("trusted.com"), RecordType::A)) {
@@ -527,8 +537,12 @@ mod tests {
         let mut p = provider(HostingPolicy::cloudflare(), 12);
         let a1 = p.create_account();
         let a2 = p.create_account();
-        let z1 = p.host_domain(a1, &n("popular.com"), DomainClass::RegisteredSld).unwrap();
-        let z2 = p.host_domain(a2, &n("popular.com"), DomainClass::RegisteredSld).unwrap();
+        let z1 = p
+            .host_domain(a1, &n("popular.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        let z2 = p
+            .host_domain(a2, &n("popular.com"), DomainClass::RegisteredSld)
+            .unwrap();
         let s1 = p.zone(z1).unwrap().assigned_ns.clone();
         let s2 = p.zone(z2).unwrap().assigned_ns.clone();
         assert_ne!(s1, s2, "same-domain zones must not share NS sets");
@@ -539,7 +553,8 @@ mod tests {
         let mut p = provider(HostingPolicy::godaddy(), 4);
         let a1 = p.create_account();
         let a2 = p.create_account();
-        p.host_domain(a1, &n("victim.org"), DomainClass::RegisteredSld).unwrap();
+        p.host_domain(a1, &n("victim.org"), DomainClass::RegisteredSld)
+            .unwrap();
         assert_eq!(
             p.host_domain(a2, &n("victim.org"), DomainClass::RegisteredSld),
             Err(HostError::Duplicate)
@@ -552,22 +567,30 @@ mod tests {
         let a = p.create_account();
         // 12 nameservers / 4 per zone = 3 zones, the 4th must fail
         for _ in 0..3 {
-            p.host_domain(a, &n("target.com"), DomainClass::RegisteredSld).unwrap();
+            p.host_domain(a, &n("target.com"), DomainClass::RegisteredSld)
+                .unwrap();
         }
         assert_eq!(
             p.host_domain(a, &n("target.com"), DomainClass::RegisteredSld),
             Err(HostError::NameserversExhausted)
         );
         // other domains still fine
-        assert!(p.host_domain(a, &n("other.com"), DomainClass::RegisteredSld).is_ok());
+        assert!(p
+            .host_domain(a, &n("other.com"), DomainClass::RegisteredSld)
+            .is_ok());
     }
 
     #[test]
     fn random_pool_only_assigned_ns_answer() {
         let mut p = provider(HostingPolicy::amazon(), 12);
         let a = p.create_account();
-        let zid = p.host_domain(a, &n("t.com"), DomainClass::RegisteredSld).unwrap();
-        p.add_record(zid, Record::new(n("t.com"), 60, RData::A(Ipv4Addr::new(9, 9, 9, 9))));
+        let zid = p
+            .host_domain(a, &n("t.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            zid,
+            Record::new(n("t.com"), 60, RData::A(Ipv4Addr::new(9, 9, 9, 9))),
+        );
         let serving = p.serving_nameservers(zid);
         assert_eq!(serving.len(), 4);
         let q = Question::new(n("t.com"), RecordType::A);
@@ -589,7 +612,8 @@ mod tests {
         let p = {
             let mut p = provider(HostingPolicy::cloudns(), 2);
             let a = p.create_account();
-            p.host_domain(a, &n("mine.org"), DomainClass::RegisteredSld).unwrap();
+            p.host_domain(a, &n("mine.org"), DomainClass::RegisteredSld)
+                .unwrap();
             p
         };
         let ip = p.nameservers()[0].1;
@@ -623,9 +647,16 @@ mod tests {
         let mut p = provider(HostingPolicy::tencent(), 8);
         let attacker = p.create_account();
         let owner = p.create_account();
-        let squat = p.host_domain(attacker, &n("brand.com"), DomainClass::RegisteredSld).unwrap();
-        p.add_record(squat, Record::new(n("brand.com"), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))));
-        let reclaimed = p.retrieve_domain(owner, &n("brand.com"), DomainClass::RegisteredSld).unwrap();
+        let squat = p
+            .host_domain(attacker, &n("brand.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            squat,
+            Record::new(n("brand.com"), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))),
+        );
+        let reclaimed = p
+            .retrieve_domain(owner, &n("brand.com"), DomainClass::RegisteredSld)
+            .unwrap();
         assert!(!p.zone(squat).unwrap().active);
         assert!(p.zone(reclaimed).unwrap().active);
         // squatter's NS no longer serve the UR
@@ -642,7 +673,8 @@ mod tests {
         let mut p = provider(HostingPolicy::godaddy(), 4);
         let attacker = p.create_account();
         let owner = p.create_account();
-        p.host_domain(attacker, &n("brand.com"), DomainClass::RegisteredSld).unwrap();
+        p.host_domain(attacker, &n("brand.com"), DomainClass::RegisteredSld)
+            .unwrap();
         assert_eq!(
             p.retrieve_domain(owner, &n("brand.com"), DomainClass::RegisteredSld),
             Err(HostError::RetrievalUnsupported)
@@ -653,7 +685,9 @@ mod tests {
     fn sync_all_spreads_zone_to_every_ns() {
         let mut p = provider(HostingPolicy::cloudflare(), 10);
         let a = p.create_account();
-        let zid = p.host_domain(a, &n("wide.com"), DomainClass::RegisteredSld).unwrap();
+        let zid = p
+            .host_domain(a, &n("wide.com"), DomainClass::RegisteredSld)
+            .unwrap();
         assert!(p.sync_all(zid));
         assert_eq!(p.serving_nameservers(zid).len(), 10);
     }
@@ -662,7 +696,9 @@ mod tests {
     fn sync_all_denied_without_policy() {
         let mut p = provider(HostingPolicy::godaddy(), 4);
         let a = p.create_account();
-        let zid = p.host_domain(a, &n("wide.com"), DomainClass::RegisteredSld).unwrap();
+        let zid = p
+            .host_domain(a, &n("wide.com"), DomainClass::RegisteredSld)
+            .unwrap();
         assert!(!p.sync_all(zid));
     }
 
@@ -672,8 +708,13 @@ mod tests {
         pol.verification = VerificationPolicy::NsDelegation;
         let mut p = provider(pol, 8);
         let a = p.create_account();
-        let zid = p.host_domain(a, &n("legit.com"), DomainClass::RegisteredSld).unwrap();
-        p.add_record(zid, Record::new(n("legit.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
+        let zid = p
+            .host_domain(a, &n("legit.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            zid,
+            Record::new(n("legit.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))),
+        );
         assert!(p.serving_nameservers(zid).is_empty());
         p.set_verified(zid);
         assert!(!p.serving_nameservers(zid).is_empty());
@@ -684,17 +725,31 @@ mod tests {
         let mut p = provider(HostingPolicy::amazon(), 12);
         let a1 = p.create_account();
         let a2 = p.create_account();
-        let z1 = p.host_domain(a1, &n("dup.com"), DomainClass::RegisteredSld).unwrap();
-        let z2 = p.host_domain(a2, &n("dup.com"), DomainClass::RegisteredSld).unwrap();
-        p.add_record(z1, Record::new(n("dup.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
-        p.add_record(z2, Record::new(n("dup.com"), 60, RData::A(Ipv4Addr::new(2, 2, 2, 2))));
+        let z1 = p
+            .host_domain(a1, &n("dup.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        let z2 = p
+            .host_domain(a2, &n("dup.com"), DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            z1,
+            Record::new(n("dup.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))),
+        );
+        p.add_record(
+            z2,
+            Record::new(n("dup.com"), 60, RData::A(Ipv4Addr::new(2, 2, 2, 2))),
+        );
         // On any NS serving both (none here: disjoint sets) — instead check
         // the per-NS answer maps to the zone assigned to it.
         let q = Question::new(n("dup.com"), RecordType::A);
         for (_, ip) in p.nameservers().to_vec() {
             if let ProviderAnswer::FromZone(id, _) = p.answer(ip, &q) {
                 let z = p.zone(id).unwrap();
-                let idx = p.nameservers().iter().position(|(_, nip)| *nip == ip).unwrap();
+                let idx = p
+                    .nameservers()
+                    .iter()
+                    .position(|(_, nip)| *nip == ip)
+                    .unwrap();
                 assert!(z.assigned_ns.contains(&idx));
             }
         }
@@ -704,7 +759,9 @@ mod tests {
     fn unregistered_domain_support() {
         let mut amazon = provider(HostingPolicy::amazon(), 8);
         let a = amazon.create_account();
-        assert!(amazon.host_domain(a, &n("never-registered.xyz"), DomainClass::Unregistered).is_ok());
+        assert!(amazon
+            .host_domain(a, &n("never-registered.xyz"), DomainClass::Unregistered)
+            .is_ok());
 
         let mut cf = provider(HostingPolicy::cloudflare(), 8);
         let a = cf.create_account();

@@ -54,7 +54,13 @@ impl DelegationRegistry {
 
     /// Register a TLD served at `ip`.
     pub fn add_tld(&mut self, tld: Name, ip: Ipv4Addr) {
-        self.tlds.insert(tld, TldData { ip, delegations: HashMap::new() });
+        self.tlds.insert(
+            tld,
+            TldData {
+                ip,
+                delegations: HashMap::new(),
+            },
+        );
     }
 
     /// All registered TLDs.
@@ -81,7 +87,11 @@ impl DelegationRegistry {
     /// Remove a delegation (domain expiry / provider switch).
     pub fn undelegate(&mut self, domain: &Name) {
         if let Some(tld) = self.enclosing_tld(domain) {
-            self.tlds.get_mut(&tld).expect("tld present").delegations.remove(domain);
+            self.tlds
+                .get_mut(&tld)
+                .expect("tld present")
+                .delegations
+                .remove(domain);
         }
     }
 
@@ -112,7 +122,11 @@ impl DelegationRegistry {
     /// The delegation set of `domain`, if any.
     pub fn delegation_of(&self, domain: &Name) -> Option<&[(Name, Ipv4Addr)]> {
         let tld = self.enclosing_tld(domain)?;
-        self.tlds.get(&tld)?.delegations.get(domain).map(Vec::as_slice)
+        self.tlds
+            .get(&tld)?
+            .delegations
+            .get(domain)
+            .map(Vec::as_slice)
     }
 
     /// The registered domain (delegation point) enclosing `name`, if any:
@@ -137,7 +151,11 @@ impl DelegationRegistry {
         let mut zone = Zone::new(Name::root());
         for (tld, data) in &self.tlds {
             let ns_name = tld.child(b"a-ns").expect("valid tld child");
-            zone.add(Record::new(tld.clone(), DELEGATION_TTL, RData::Ns(ns_name.clone())));
+            zone.add(Record::new(
+                tld.clone(),
+                DELEGATION_TTL,
+                RData::Ns(ns_name.clone()),
+            ));
             zone.add(Record::new(ns_name, DELEGATION_TTL, RData::A(data.ip)));
         }
         zone
@@ -149,13 +167,24 @@ impl DelegationRegistry {
     /// # Panics
     /// Panics on an unregistered TLD.
     pub fn build_tld_zone(&self, tld: &Name) -> Zone {
-        let data = self.tlds.get(tld).unwrap_or_else(|| panic!("unknown TLD {tld}"));
+        let data = self
+            .tlds
+            .get(tld)
+            .unwrap_or_else(|| panic!("unknown TLD {tld}"));
         let mut zone = Zone::new(tld.clone());
         for (domain, nameservers) in &data.delegations {
             for (ns_name, ns_ip) in nameservers {
-                zone.add(Record::new(domain.clone(), DELEGATION_TTL, RData::Ns(ns_name.clone())));
+                zone.add(Record::new(
+                    domain.clone(),
+                    DELEGATION_TTL,
+                    RData::Ns(ns_name.clone()),
+                ));
                 if ns_name.is_subdomain_of(tld) {
-                    zone.add(Record::new(ns_name.clone(), DELEGATION_TTL, RData::A(*ns_ip)));
+                    zone.add(Record::new(
+                        ns_name.clone(),
+                        DELEGATION_TTL,
+                        RData::A(*ns_ip),
+                    ));
                 }
             }
         }
@@ -226,8 +255,14 @@ mod tests {
     #[test]
     fn registered_suffix_walks_up() {
         let r = registry();
-        assert_eq!(r.registered_suffix(&n("www.example.com")).unwrap(), n("example.com"));
-        assert_eq!(r.registered_suffix(&n("example.com")).unwrap(), n("example.com"));
+        assert_eq!(
+            r.registered_suffix(&n("www.example.com")).unwrap(),
+            n("example.com")
+        );
+        assert_eq!(
+            r.registered_suffix(&n("example.com")).unwrap(),
+            n("example.com")
+        );
         assert!(r.registered_suffix(&n("unregistered.com")).is_none());
     }
 
@@ -274,7 +309,10 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
-        assert_eq!(r.ns_addr(&n("ns1.provider.net")).unwrap(), Ipv4Addr::new(198, 18, 0, 1));
+        assert_eq!(
+            r.ns_addr(&n("ns1.provider.net")).unwrap(),
+            Ipv4Addr::new(198, 18, 0, 1)
+        );
     }
 
     #[test]
@@ -288,6 +326,9 @@ mod tests {
     #[should_panic(expected = "no TLD registered")]
     fn delegate_unknown_tld_panics() {
         let mut r = registry();
-        r.delegate(&n("x.dev"), vec![(n("ns.x.dev"), Ipv4Addr::new(1, 1, 1, 1))]);
+        r.delegate(
+            &n("x.dev"),
+            vec![(n("ns.x.dev"), Ipv4Addr::new(1, 1, 1, 1))],
+        );
     }
 }

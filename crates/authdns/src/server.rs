@@ -146,7 +146,9 @@ impl StaticZoneNode {
 
     /// Serve one owned zone.
     pub fn single(zone: Zone) -> Self {
-        StaticZoneNode { zones: Rc::new(RefCell::new(vec![zone])) }
+        StaticZoneNode {
+            zones: Rc::new(RefCell::new(vec![zone])),
+        }
     }
 }
 
@@ -302,7 +304,12 @@ mod tests {
 
     fn build_provider_net() -> (Network, Rc<RefCell<HostingProvider>>) {
         let fleet: Vec<(Name, Ipv4Addr)> = (0..4)
-            .map(|i| (n(&format!("ns{i}.cloudx.example")), Ipv4Addr::new(198, 18, 0, i + 1)))
+            .map(|i| {
+                (
+                    n(&format!("ns{i}.cloudx.example")),
+                    Ipv4Addr::new(198, 18, 0, i + 1),
+                )
+            })
             .collect();
         let provider = Rc::new(RefCell::new(HostingProvider::new(
             "CloudX",
@@ -324,8 +331,17 @@ mod tests {
         {
             let mut p = provider.borrow_mut();
             let acct = p.create_account();
-            let zid = p.host_domain(acct, &n("trusted.com"), DomainClass::RegisteredSld).unwrap();
-            p.add_record(zid, Record::new(n("trusted.com"), 60, RData::A(Ipv4Addr::new(66, 66, 66, 66))));
+            let zid = p
+                .host_domain(acct, &n("trusted.com"), DomainClass::RegisteredSld)
+                .unwrap();
+            p.add_record(
+                zid,
+                Record::new(
+                    n("trusted.com"),
+                    60,
+                    RData::A(Ipv4Addr::new(66, 66, 66, 66)),
+                ),
+            );
         }
         let resp = dns_query(
             &mut net,
@@ -338,7 +354,10 @@ mod tests {
         .unwrap();
         assert_eq!(resp.rcode(), Rcode::NoError);
         assert!(resp.flags.authoritative);
-        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(66, 66, 66, 66));
+        assert_eq!(
+            resp.answers[0].rdata.as_a().unwrap(),
+            Ipv4Addr::new(66, 66, 66, 66)
+        );
     }
 
     #[test]
@@ -354,22 +373,46 @@ mod tests {
         )
         .unwrap();
         assert_eq!(resp.rcode(), Rcode::NoError);
-        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(198, 18, 0, 250));
+        assert_eq!(
+            resp.answers[0].rdata.as_a().unwrap(),
+            Ipv4Addr::new(198, 18, 0, 250)
+        );
     }
 
     #[test]
     fn static_zone_node_answers_and_refuses() {
         let mut zone = Zone::new(n("corp.example"));
-        zone.add(Record::new(n("www.corp.example"), 60, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        zone.add(Record::new(
+            n("www.corp.example"),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
         let mut net = Network::new(1);
         let ns_ip = Ipv4Addr::new(192, 0, 2, 53);
         net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
         let client = Ipv4Addr::new(10, 0, 0, 2);
-        let ok = dns_query(&mut net, client, ns_ip, &n("www.corp.example"), RecordType::A, 1).unwrap();
+        let ok = dns_query(
+            &mut net,
+            client,
+            ns_ip,
+            &n("www.corp.example"),
+            RecordType::A,
+            1,
+        )
+        .unwrap();
         assert_eq!(ok.rcode(), Rcode::NoError);
-        let refused = dns_query(&mut net, client, ns_ip, &n("other.org"), RecordType::A, 2).unwrap();
+        let refused =
+            dns_query(&mut net, client, ns_ip, &n("other.org"), RecordType::A, 2).unwrap();
         assert_eq!(refused.rcode(), Rcode::Refused);
-        let nx = dns_query(&mut net, client, ns_ip, &n("gone.corp.example"), RecordType::A, 3).unwrap();
+        let nx = dns_query(
+            &mut net,
+            client,
+            ns_ip,
+            &n("gone.corp.example"),
+            RecordType::A,
+            3,
+        )
+        .unwrap();
         assert_eq!(nx.rcode(), Rcode::NxDomain);
         assert!(!nx.authorities.is_empty(), "negative answer carries SOA");
     }
@@ -379,16 +422,34 @@ mod tests {
         let mut truth: AnswerMap = HashMap::new();
         truth.insert(
             (n("popular.com"), RecordType::A),
-            vec![Record::new(n("popular.com"), 60, RData::A(Ipv4Addr::new(203, 0, 113, 7)))],
+            vec![Record::new(
+                n("popular.com"),
+                60,
+                RData::A(Ipv4Addr::new(203, 0, 113, 7)),
+            )],
         );
         let mut net = Network::new(1);
         let ns_ip = Ipv4Addr::new(192, 0, 2, 99);
-        net.add_node(ns_ip, Box::new(OracleRecursiveNs::new(Rc::new(RefCell::new(truth)))));
-        let resp = dns_query(&mut net, Ipv4Addr::new(10, 0, 0, 3), ns_ip, &n("popular.com"), RecordType::A, 9).unwrap();
+        net.add_node(
+            ns_ip,
+            Box::new(OracleRecursiveNs::new(Rc::new(RefCell::new(truth)))),
+        );
+        let resp = dns_query(
+            &mut net,
+            Ipv4Addr::new(10, 0, 0, 3),
+            ns_ip,
+            &n("popular.com"),
+            RecordType::A,
+            9,
+        )
+        .unwrap();
         assert_eq!(resp.rcode(), Rcode::NoError);
         assert!(resp.flags.recursion_available);
         assert!(!resp.flags.authoritative);
-        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 7));
+        assert_eq!(
+            resp.answers[0].rdata.as_a().unwrap(),
+            Ipv4Addr::new(203, 0, 113, 7)
+        );
     }
 
     #[test]
@@ -409,13 +470,24 @@ mod tests {
         // A fat RRset (40 A records) cannot fit a 512-byte UDP payload.
         let mut zone = Zone::new(n("fat.example"));
         for i in 0..40u8 {
-            zone.add(Record::new(n("fat.example"), 60, RData::A(Ipv4Addr::new(203, 0, 113, i))));
+            zone.add(Record::new(
+                n("fat.example"),
+                60,
+                RData::A(Ipv4Addr::new(203, 0, 113, i)),
+            ));
         }
         let mut net = Network::new(2);
         let ns_ip = Ipv4Addr::new(192, 0, 2, 60);
         net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
-        let resp = dns_query(&mut net, Ipv4Addr::new(10, 0, 0, 4), ns_ip, &n("fat.example"), RecordType::A, 21)
-            .unwrap();
+        let resp = dns_query(
+            &mut net,
+            Ipv4Addr::new(10, 0, 0, 4),
+            ns_ip,
+            &n("fat.example"),
+            RecordType::A,
+            21,
+        )
+        .unwrap();
         // dns_query retried over TCP: the full set arrives, untruncated.
         assert!(!resp.flags.truncated);
         assert_eq!(resp.answers.len(), 40);
@@ -441,7 +513,11 @@ mod tests {
     fn edns_buffer_avoids_truncation_on_udp() {
         let mut zone = Zone::new(n("fat2.example"));
         for i in 0..40u8 {
-            zone.add(Record::new(n("fat2.example"), 60, RData::A(Ipv4Addr::new(203, 0, 113, i))));
+            zone.add(Record::new(
+                n("fat2.example"),
+                60,
+                RData::A(Ipv4Addr::new(203, 0, 113, i)),
+            ));
         }
         let mut net = Network::new(3);
         let ns_ip = Ipv4Addr::new(192, 0, 2, 61);
@@ -475,6 +551,10 @@ mod tests {
             0x77,
         )
         .unwrap();
-        assert!(resp.answers[0].rdata.txt_joined().unwrap().contains("not hosted"));
+        assert!(resp.answers[0]
+            .rdata
+            .txt_joined()
+            .unwrap()
+            .contains("not hosted"));
     }
 }

@@ -52,7 +52,11 @@ impl Zone {
         );
         let mut records = BTreeMap::new();
         records.insert((apex.clone(), RecordType::Soa), vec![soa]);
-        Zone { apex, records, serial: 1 }
+        Zone {
+            apex,
+            records,
+            serial: 1,
+        }
     }
 
     /// The zone apex.
@@ -87,7 +91,10 @@ impl Zone {
     /// Remove all records of `rtype` at `owner`. Returns how many went away.
     pub fn remove(&mut self, owner: &Name, rtype: RecordType) -> usize {
         self.serial = self.serial.wrapping_add(1);
-        self.records.remove(&(owner.clone(), rtype)).map(|v| v.len()).unwrap_or(0)
+        self.records
+            .remove(&(owner.clone(), rtype))
+            .map(|v| v.len())
+            .unwrap_or(0)
     }
 
     /// The RRset of `rtype` at `owner`, if any.
@@ -163,7 +170,10 @@ impl Zone {
                         glue.extend(self.get(target, RecordType::A).iter().cloned());
                     }
                 }
-                return ZoneAnswer::Delegation { ns: ns.to_vec(), glue };
+                return ZoneAnswer::Delegation {
+                    ns: ns.to_vec(),
+                    glue,
+                };
             }
         }
         // Exact match.
@@ -233,11 +243,27 @@ mod tests {
         let mut z = Zone::new(n("example.com"));
         z.add(a("example.com", [203, 0, 113, 1]));
         z.add(a("www.example.com", [203, 0, 113, 2]));
-        z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com"))));
-        z.add(Record::new(n("ext.example.com"), 300, RData::Cname(n("cdn.other.net"))));
-        z.add(Record::new(n("sub.example.com"), 3600, RData::Ns(n("ns1.sub.example.com"))));
+        z.add(Record::new(
+            n("alias.example.com"),
+            300,
+            RData::Cname(n("www.example.com")),
+        ));
+        z.add(Record::new(
+            n("ext.example.com"),
+            300,
+            RData::Cname(n("cdn.other.net")),
+        ));
+        z.add(Record::new(
+            n("sub.example.com"),
+            3600,
+            RData::Ns(n("ns1.sub.example.com")),
+        ));
         z.add(a("ns1.sub.example.com", [198, 51, 100, 9]));
-        z.add(Record::new(n("example.com"), 300, RData::txt_from_str("v=spf1 -all")));
+        z.add(Record::new(
+            n("example.com"),
+            300,
+            RData::txt_from_str("v=spf1 -all"),
+        ));
         z
     }
 
@@ -294,7 +320,10 @@ mod tests {
             ZoneAnswer::Delegation { ns, glue } => {
                 assert_eq!(ns.len(), 1);
                 assert_eq!(glue.len(), 1);
-                assert_eq!(glue[0].rdata.as_a().unwrap(), Ipv4Addr::new(198, 51, 100, 9));
+                assert_eq!(
+                    glue[0].rdata.as_a().unwrap(),
+                    Ipv4Addr::new(198, 51, 100, 9)
+                );
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -319,21 +348,33 @@ mod tests {
     #[test]
     fn nodata_vs_nxdomain() {
         let z = zone();
-        assert_eq!(z.answer(&Question::new(n("www.example.com"), RecordType::Mx)), ZoneAnswer::NoData);
-        assert_eq!(z.answer(&Question::new(n("nope.example.com"), RecordType::A)), ZoneAnswer::NxDomain);
+        assert_eq!(
+            z.answer(&Question::new(n("www.example.com"), RecordType::Mx)),
+            ZoneAnswer::NoData
+        );
+        assert_eq!(
+            z.answer(&Question::new(n("nope.example.com"), RecordType::A)),
+            ZoneAnswer::NxDomain
+        );
     }
 
     #[test]
     fn empty_non_terminal_is_nodata() {
         let mut z = Zone::new(n("example.com"));
         z.add(a("a.b.example.com", [203, 0, 113, 9]));
-        assert_eq!(z.answer(&Question::new(n("b.example.com"), RecordType::A)), ZoneAnswer::NoData);
+        assert_eq!(
+            z.answer(&Question::new(n("b.example.com"), RecordType::A)),
+            ZoneAnswer::NoData
+        );
     }
 
     #[test]
     fn out_of_zone() {
         let z = zone();
-        assert_eq!(z.answer(&Question::new(n("other.net"), RecordType::A)), ZoneAnswer::NotInZone);
+        assert_eq!(
+            z.answer(&Question::new(n("other.net"), RecordType::A)),
+            ZoneAnswer::NotInZone
+        );
     }
 
     #[test]
@@ -359,7 +400,10 @@ mod tests {
     fn remove_records() {
         let mut z = zone();
         assert_eq!(z.remove(&n("www.example.com"), RecordType::A), 1);
-        assert_eq!(z.answer(&Question::new(n("www.example.com"), RecordType::A)), ZoneAnswer::NxDomain);
+        assert_eq!(
+            z.answer(&Question::new(n("www.example.com"), RecordType::A)),
+            ZoneAnswer::NxDomain
+        );
     }
 
     #[test]

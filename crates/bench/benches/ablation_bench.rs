@@ -11,7 +11,10 @@ use worldgen::{World, WorldConfig};
 fn bench_scheduler_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
     g.sampling_mode(SamplingMode::Flat).sample_size(10);
-    for (label, interval) in [("unpaced", SimDuration::ZERO), ("paced_130s", SimDuration::from_secs(130))] {
+    for (label, interval) in [
+        ("unpaced", SimDuration::ZERO),
+        ("paced_130s", SimDuration::from_secs(130)),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut world = World::generate(WorldConfig::small());
@@ -37,23 +40,27 @@ fn bench_collection_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("collection_scaling");
     g.sampling_mode(SamplingMode::Flat).sample_size(10);
     for targets_n in [15usize, 30, 60] {
-        g.bench_with_input(BenchmarkId::from_parameter(targets_n), &targets_n, |b, &tn| {
-            b.iter(|| {
-                let mut world = World::generate(WorldConfig::small());
-                let cfg = CollectConfig::default();
-                let ns = select_nameservers(&world, cfg.min_tail_sites);
-                let targets: Vec<_> = world.scan_targets().into_iter().take(tn).collect();
-                let mut sched = QueryScheduler::new(1, SimDuration::ZERO);
-                black_box(collect_urs(
-                    &mut world.net,
-                    &world.registry,
-                    &ns,
-                    &targets,
-                    &cfg,
-                    &mut sched,
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(targets_n),
+            &targets_n,
+            |b, &tn| {
+                b.iter(|| {
+                    let mut world = World::generate(WorldConfig::small());
+                    let cfg = CollectConfig::default();
+                    let ns = select_nameservers(&world, cfg.min_tail_sites);
+                    let targets: Vec<_> = world.scan_targets().into_iter().take(tn).collect();
+                    let mut sched = QueryScheduler::new(1, SimDuration::ZERO);
+                    black_box(collect_urs(
+                        &mut world.net,
+                        &world.registry,
+                        &ns,
+                        &targets,
+                        &cfg,
+                        &mut sched,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

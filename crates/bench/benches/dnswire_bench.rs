@@ -25,8 +25,16 @@ fn sample_response(answers: usize) -> Message {
             RData::A(Ipv4Addr::new(203, 0, 113, (i % 250) as u8)),
         ));
     }
-    m.authorities.push(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
-    m.additionals.push(Record::new(n("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(198, 51, 100, 1))));
+    m.authorities.push(Record::new(
+        n("example.com"),
+        3600,
+        RData::Ns(n("ns1.example.com")),
+    ));
+    m.additionals.push(Record::new(
+        n("ns1.example.com"),
+        3600,
+        RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+    ));
     m
 }
 
@@ -37,8 +45,12 @@ fn bench_encode(c: &mut Criterion) {
     let large = sample_response(20);
     g.throughput(Throughput::Elements(1));
     g.bench_function("query", |b| b.iter(|| black_box(&query).encode().unwrap()));
-    g.bench_function("response_1a", |b| b.iter(|| black_box(&small).encode().unwrap()));
-    g.bench_function("response_20a", |b| b.iter(|| black_box(&large).encode().unwrap()));
+    g.bench_function("response_1a", |b| {
+        b.iter(|| black_box(&small).encode().unwrap())
+    });
+    g.bench_function("response_20a", |b| {
+        b.iter(|| black_box(&large).encode().unwrap())
+    });
     g.finish();
 }
 
@@ -48,9 +60,15 @@ fn bench_decode(c: &mut Criterion) {
     let small = sample_response(1).encode().unwrap();
     let large = sample_response(20).encode().unwrap();
     g.throughput(Throughput::Bytes(large.len() as u64));
-    g.bench_function("query", |b| b.iter(|| Message::decode(black_box(&query)).unwrap()));
-    g.bench_function("response_1a", |b| b.iter(|| Message::decode(black_box(&small)).unwrap()));
-    g.bench_function("response_20a", |b| b.iter(|| Message::decode(black_box(&large)).unwrap()));
+    g.bench_function("query", |b| {
+        b.iter(|| Message::decode(black_box(&query)).unwrap())
+    });
+    g.bench_function("response_1a", |b| {
+        b.iter(|| Message::decode(black_box(&small)).unwrap())
+    });
+    g.bench_function("response_20a", |b| {
+        b.iter(|| Message::decode(black_box(&large)).unwrap())
+    });
     g.finish();
 }
 

@@ -21,7 +21,10 @@ fn bench_classification(c: &mut Criterion) {
     let mut world = World::generate(WorldConfig::small());
     let out = run(&mut world, &HunterConfig::fast());
     let mut cfg = urhunter::ClassifyConfig::default();
-    for (name, workers) in [("classify_collected_urs_seq", 1usize), ("classify_collected_urs_par", 0)] {
+    for (name, workers) in [
+        ("classify_collected_urs_seq", 1usize),
+        ("classify_collected_urs_par", 0),
+    ] {
         cfg.parallelism = workers;
         let cfg = cfg.clone();
         c.bench_function(name, |b| {
@@ -51,5 +54,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_world_generation, bench_classification, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_classification,
+    bench_full_pipeline
+);
 criterion_main!(benches);

@@ -31,7 +31,12 @@ fn bench_direct_authoritative(c: &mut Criterion) {
 
 fn bench_recursive(c: &mut Criterion) {
     let mut world = World::generate(WorldConfig::small());
-    let resolver = world.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
+    let resolver = world
+        .resolvers
+        .iter()
+        .find(|r| r.stable && !r.manipulated)
+        .unwrap()
+        .ip;
     let domains: Vec<_> = world.tranco.domains().to_vec();
     let client = Ipv4Addr::new(10, 60, 0, 2);
     let mut i = 0usize;
@@ -54,7 +59,12 @@ fn bench_recursive(c: &mut Criterion) {
 
 fn bench_warm_cache(c: &mut Criterion) {
     let mut world = World::generate(WorldConfig::small());
-    let resolver = world.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
+    let resolver = world
+        .resolvers
+        .iter()
+        .find(|r| r.stable && !r.manipulated)
+        .unwrap()
+        .ip;
     let domain = world.tranco.domains()[0].clone();
     let client = Ipv4Addr::new(10, 60, 0, 3);
     // Prime the cache.
@@ -75,5 +85,10 @@ fn bench_warm_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_direct_authoritative, bench_recursive, bench_warm_cache);
+criterion_group!(
+    benches,
+    bench_direct_authoritative,
+    bench_recursive,
+    bench_warm_cache
+);
 criterion_main!(benches);

@@ -40,9 +40,11 @@ fn main() {
     }
 
     println!("\n== IDS severity threshold sweep ==");
-    for (label, threshold) in
-        [("low (connectivity counts!)", Severity::Low), ("medium (paper)", Severity::Medium), ("high", Severity::High)]
-    {
+    for (label, threshold) in [
+        ("low (connectivity counts!)", Severity::Low),
+        ("medium (paper)", Severity::Medium),
+        ("high", Severity::High),
+    ] {
         let mut world = World::generate(WorldConfig::small());
         let mut cfg = HunterConfig::fast();
         cfg.analyze.severity_threshold = threshold;

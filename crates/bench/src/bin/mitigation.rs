@@ -40,7 +40,9 @@ fn main() {
     let base = run(&mut base_world, &cfg);
     summarize("baseline", &base);
 
-    println!("\n== as-disclosed mitigations (Tencent NS-check, Alibaba TXT, Cloudflare blacklist) ==");
+    println!(
+        "\n== as-disclosed mitigations (Tencent NS-check, Alibaba TXT, Cloudflare blacklist) =="
+    );
     let mut world = World::generate(WorldConfig::default_scale());
     if let Some(i) = world.provider_index("Tencent Cloud") {
         world.providers[i].borrow_mut().policy_mut().verification =
@@ -65,12 +67,19 @@ fn main() {
     summarize("universal verification", &strict);
 
     let drop_pct = |after: usize, before: usize| {
-        if before == 0 { 0.0 } else { 100.0 * (before - after.min(before)) as f64 / before as f64 }
+        if before == 0 {
+            0.0
+        } else {
+            100.0 * (before - after.min(before)) as f64 / before as f64
+        }
     };
     println!("\nmalicious-UR reduction:");
     println!(
         "  as-disclosed:           {:.1}%",
-        drop_pct(mitigated.report.totals.malicious, base.report.totals.malicious)
+        drop_pct(
+            mitigated.report.totals.malicious,
+            base.report.totals.malicious
+        )
     );
     println!(
         "  universal verification: {:.1}%  (URs disappear entirely; residual sources are\n\

@@ -27,7 +27,9 @@ fn best_of_ms<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
-    let threads_auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads_auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let t0 = Instant::now();
     let mut world = World::generate(WorldConfig::medium());
@@ -40,7 +42,10 @@ fn main() {
     let out = run(&mut world, &HunterConfig::fast().with_parallelism(1));
     let pipeline_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let mut cfg = urhunter::ClassifyConfig { today: world.config.today, ..Default::default() };
+    let mut cfg = urhunter::ClassifyConfig {
+        today: world.config.today,
+        ..Default::default()
+    };
     let mut classify = |workers: usize| {
         cfg.parallelism = workers;
         let cfg = cfg.clone();
@@ -59,8 +64,10 @@ fn main() {
 
     // The pre-batching baseline: per-UR classification resolves each UR's
     // attributes on its own (the state before the batch AttrIndex).
-    let cfg_per_ur =
-        urhunter::ClassifyConfig { today: world.config.today, ..Default::default() };
+    let cfg_per_ur = urhunter::ClassifyConfig {
+        today: world.config.today,
+        ..Default::default()
+    };
     let (classify_per_ur_ms, _) = best_of_ms(3, || {
         out.collected
             .iter()
@@ -86,10 +93,44 @@ fn main() {
     let batch_speedup = classify_per_ur_ms / classify_seq_ms;
     let thread_speedup = classify_seq_ms / classify_par_ms;
 
+    // Streaming stage-overlapped pipeline on an identical fresh world:
+    // collection keeps driving the simulated network on the main thread
+    // while classification workers consume batches, so the classify cost
+    // hides behind collection latency instead of following it. The result
+    // must be bit-identical to the strict-batch run above.
+    const STREAM_BATCH: usize = 64;
+    let mut world_stream = World::generate(WorldConfig::medium());
+    let t0 = Instant::now();
+    let stream_out = run(
+        &mut world_stream,
+        &HunterConfig::fast()
+            .with_stream_batch_size(STREAM_BATCH)
+            .with_keep_raw_collected(false),
+    );
+    let pipeline_stream_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        stream_out.report.totals, out.report.totals,
+        "streaming pipeline diverged from the batch pipeline"
+    );
+    assert_eq!(
+        urhunter::classified_sequence_hash(&stream_out.classified),
+        urhunter::classified_sequence_hash(&out.classified),
+        "streaming per-UR sequence diverged from the batch pipeline"
+    );
+    // Overlap metrics: how much of the sequential stage sum the stream
+    // path hides. classify_hidden_ratio > 0 means classification compute
+    // ran while collection still owned the main thread.
+    let stream_overlap_speedup = pipeline_seq_ms / pipeline_stream_ms;
+    let classify_hidden_ratio = ((pipeline_seq_ms - pipeline_stream_ms) / classify_seq_ms).max(0.0);
+
     let json = format!(
         "{{\n  \"world\": \"medium\",\n  \"threads_auto\": {threads_auto},\n  \
          \"urs_collected\": {},\n  \"worldgen_ms\": {worldgen_ms:.2},\n  \
          \"pipeline_seq_ms\": {pipeline_seq_ms:.2},\n  \
+         \"pipeline_stream_ms\": {pipeline_stream_ms:.2},\n  \
+         \"stream_batch_size\": {STREAM_BATCH},\n  \
+         \"stream_overlap_speedup\": {stream_overlap_speedup:.3},\n  \
+         \"classify_hidden_ratio\": {classify_hidden_ratio:.3},\n  \
          \"classify_per_ur_ms\": {classify_per_ur_ms:.2},\n  \
          \"classify_seq_ms\": {classify_seq_ms:.2},\n  \
          \"classify_par_ms\": {classify_par_ms:.2},\n  \

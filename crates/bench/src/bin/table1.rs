@@ -11,10 +11,18 @@ fn main() {
 
     let t = out.report.totals;
     println!("\n== shape vs paper ==");
-    bench::compare("malicious share", 100.0 * t.malicious_share(), 100.0 * bench::paper::MALICIOUS_SHARE);
+    bench::compare(
+        "malicious share",
+        100.0 * t.malicious_share(),
+        100.0 * bench::paper::MALICIOUS_SHARE,
+    );
     let total_row = &out.report.table1[2];
     let domain_share = 100.0 * total_row.domains_malicious as f64 / world.tranco.len() as f64;
-    bench::compare("affected domains", domain_share, 100.0 * bench::paper::DOMAIN_SHARE);
+    bench::compare(
+        "affected domains",
+        domain_share,
+        100.0 * bench::paper::DOMAIN_SHARE,
+    );
     let (email, all_txt) = out.report.txt_email_related;
     if all_txt > 0 {
         bench::compare(

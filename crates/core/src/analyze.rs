@@ -132,8 +132,7 @@ pub fn analyze(
         .into_iter()
         .flatten()
         .collect();
-    let ids_relevant: HashSet<Ipv4Addr> =
-        ids_malicious.intersection(&ur_ips).copied().collect();
+    let ids_relevant: HashSet<Ipv4Addr> = ids_malicious.intersection(&ur_ips).copied().collect();
 
     let mut evidence = HashMap::new();
     for ip in vendor_malicious.union(&ids_relevant) {
@@ -149,7 +148,9 @@ pub fn analyze(
     // Promote malicious URs.
     for c in classified.iter_mut() {
         if c.category == UrCategory::Unknown
-            && c.corresponding_ips.iter().any(|ip| evidence.contains_key(ip))
+            && c.corresponding_ips
+                .iter()
+                .any(|ip| evidence.contains_key(ip))
         {
             c.category = UrCategory::Malicious;
         }
@@ -165,7 +166,9 @@ pub fn analyze(
                 && c.corresponding_ips.is_empty()
             {
                 if let Some(sig) =
-                    c.ur.txt_strings().iter().find_map(|t| payload_sigs.match_text(t))
+                    c.ur.txt_strings()
+                        .iter()
+                        .find_map(|t| payload_sigs.match_text(t))
                 {
                     c.category = UrCategory::Malicious;
                     c.payload_matched = Some(sig.family.clone());
@@ -220,17 +223,30 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn unknown_ur(domain: &str, ns: &str, rtype: RecordType, corresponding: Vec<Ipv4Addr>) -> ClassifiedUr {
+    fn unknown_ur(
+        domain: &str,
+        ns: &str,
+        rtype: RecordType,
+        corresponding: Vec<Ipv4Addr>,
+    ) -> ClassifiedUr {
         let records = match rtype {
             RecordType::A => corresponding
                 .iter()
                 .map(|a| Record::new(n(domain), 60, RData::A(*a)))
                 .collect(),
-            _ => vec![Record::new(n(domain), 60, RData::txt_from_str("opaque-command-blob"))],
+            _ => vec![Record::new(
+                n(domain),
+                60,
+                RData::txt_from_str("opaque-command-blob"),
+            )],
         };
         ClassifiedUr {
             ur: CollectedUr {
-                key: UrKey { ns_ip: ip(ns), domain: n(domain), rtype },
+                key: UrKey {
+                    ns_ip: ip(ns),
+                    domain: n(domain),
+                    rtype,
+                },
                 records,
                 aux_records: Vec::new(),
                 provider: "P".into(),
@@ -240,7 +256,11 @@ mod tests {
             category: UrCategory::Unknown,
             correct_reason: None,
             txt_category: None,
-            corresponding_ips: if rtype == RecordType::A { corresponding } else { Vec::new() },
+            corresponding_ips: if rtype == RecordType::A {
+                corresponding
+            } else {
+                Vec::new()
+            },
             payload_matched: None,
         }
     }
@@ -268,7 +288,10 @@ mod tests {
             &AnalyzeConfig::default(),
         );
         assert_eq!(classified[0].category, UrCategory::Malicious);
-        assert_eq!(analysis.evidence.get(&bad), Some(&MaliciousEvidence::VendorOnly));
+        assert_eq!(
+            analysis.evidence.get(&bad),
+            Some(&MaliciousEvidence::VendorOnly)
+        );
     }
 
     #[test]
@@ -282,9 +305,12 @@ mod tests {
             [bad].into_iter().collect(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert_eq!(classified[0].category, UrCategory::Malicious);
-        assert_eq!(analysis.evidence.get(&bad), Some(&MaliciousEvidence::IdsOnly));
+        assert_eq!(
+            analysis.evidence.get(&bad),
+            Some(&MaliciousEvidence::IdsOnly)
+        );
     }
 
     #[test]
@@ -298,7 +324,7 @@ mod tests {
             [bad].into_iter().collect(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert_eq!(analysis.evidence.get(&bad), Some(&MaliciousEvidence::Both));
         let hist = evidence_histogram(&analysis);
         assert_eq!(hist.get("both"), Some(&1));
@@ -306,8 +332,12 @@ mod tests {
 
     #[test]
     fn unflagged_ur_stays_unknown() {
-        let mut classified =
-            vec![unknown_ur("a.com", "20.0.0.1", RecordType::A, vec![ip("45.0.0.10")])];
+        let mut classified = vec![unknown_ur(
+            "a.com",
+            "20.0.0.1",
+            RecordType::A,
+            vec![ip("45.0.0.10")],
+        )];
         let _ = analyze(
             &mut classified,
             &intel_with(&[ip("40.0.0.10")]),
@@ -315,7 +345,7 @@ mod tests {
             HashSet::new(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert_eq!(classified[0].category, UrCategory::Unknown);
     }
 
@@ -333,7 +363,7 @@ mod tests {
             HashSet::new(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert_eq!(classified[1].corresponding_ips, vec![bad]);
         assert_eq!(classified[1].category, UrCategory::Malicious);
     }
@@ -349,7 +379,7 @@ mod tests {
             HashSet::new(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert_eq!(classified[0].category, UrCategory::Unknown);
         assert!(classified[0].corresponding_ips.is_empty());
     }
@@ -357,8 +387,12 @@ mod tests {
     #[test]
     fn ids_ips_outside_ur_universe_ignored() {
         let stray = ip("40.9.9.9");
-        let mut classified =
-            vec![unknown_ur("a.com", "20.0.0.1", RecordType::A, vec![ip("45.0.0.10")])];
+        let mut classified = vec![unknown_ur(
+            "a.com",
+            "20.0.0.1",
+            RecordType::A,
+            vec![ip("45.0.0.10")],
+        )];
         let analysis = analyze(
             &mut classified,
             &intel_with(&[]),
@@ -366,7 +400,7 @@ mod tests {
             [stray].into_iter().collect(),
             &intel::PayloadSignatureDb::new(),
             &AnalyzeConfig::default(),
-            );
+        );
         assert!(analysis.evidence.is_empty());
         assert_eq!(classified[0].category, UrCategory::Unknown);
     }

@@ -75,7 +75,10 @@ fn probe_domains(world: &World, p_idx: usize, n: usize) -> Vec<Name> {
 pub fn audit_provider(world: &mut World, p_idx: usize) -> AuditRow {
     let name = world.provider_meta[p_idx].name.clone();
     let domains = probe_domains(world, p_idx, 6);
-    assert!(domains.len() >= 6, "not enough clean probe domains for {name}");
+    assert!(
+        domains.len() >= 6,
+        "not enough clean probe domains for {name}"
+    );
     let mut cleanup: Vec<ZoneId> = Vec::new();
 
     let (acct1, acct2) = {
@@ -87,18 +90,23 @@ pub fn audit_provider(world: &mut World, p_idx: usize) -> AuditRow {
     let probe_a = &domains[0];
     let hosted = {
         let mut p = world.providers[p_idx].borrow_mut();
-        p.host_domain(acct1, probe_a, DomainClass::RegisteredSld).ok().map(|zid| {
-            p.add_record(zid, Record::new(probe_a.clone(), 60, RData::A(Ipv4Addr::LOCALHOST)));
-            p.add_record(
-                zid,
-                Record::new(
-                    probe_a.clone(),
-                    60,
-                    RData::txt_from_str("ur-audit probe; harmless; contact research@example"),
-                ),
-            );
-            (zid, p.serving_nameservers(zid))
-        })
+        p.host_domain(acct1, probe_a, DomainClass::RegisteredSld)
+            .ok()
+            .map(|zid| {
+                p.add_record(
+                    zid,
+                    Record::new(probe_a.clone(), 60, RData::A(Ipv4Addr::LOCALHOST)),
+                );
+                p.add_record(
+                    zid,
+                    Record::new(
+                        probe_a.clone(),
+                        60,
+                        RData::txt_from_str("ur-audit probe; harmless; contact research@example"),
+                    ),
+                );
+                (zid, p.serving_nameservers(zid))
+            })
     };
     let mut hosting_without_verification = false;
     let mut sld = false;
@@ -138,20 +146,24 @@ pub fn audit_provider(world: &mut World, p_idx: usize) -> AuditRow {
     .into_iter()
     .map(|(acct, d)| {
         let mut p = world.providers[p_idx].borrow_mut();
-        p.host_domain(acct, d, DomainClass::RegisteredSld).ok().map(|zid| {
-            cleanup.push(zid);
-            let mut ips: Vec<Ipv4Addr> =
-                p.zone(zid).map(|z| z.assigned_ns.clone()).unwrap_or_default()
+        p.host_domain(acct, d, DomainClass::RegisteredSld)
+            .ok()
+            .map(|zid| {
+                cleanup.push(zid);
+                let mut ips: Vec<Ipv4Addr> = p
+                    .zone(zid)
+                    .map(|z| z.assigned_ns.clone())
+                    .unwrap_or_default()
                     .into_iter()
                     .map(|i| p.nameservers()[i].1)
                     .collect();
-            if ips.is_empty() {
-                // global-fixed providers serve from the whole fleet
-                ips = p.nameservers().iter().map(|(_, ip)| *ip).collect();
-            }
-            ips.sort_unstable();
-            ips
-        })
+                if ips.is_empty() {
+                    // global-fixed providers serve from the whole fleet
+                    ips = p.nameservers().iter().map(|(_, ip)| *ip).collect();
+                }
+                ips.sort_unstable();
+                ips
+            })
     })
     .collect();
     let allocation = match (&sets[0], &sets[1], &sets[2], &sets[3]) {
@@ -162,8 +174,9 @@ pub fn audit_provider(world: &mut World, p_idx: usize) -> AuditRow {
     };
 
     // --- Supported domain classes ----------------------------------------
-    let unregistered_name: Name =
-        format!("ur-audit-unregistered-{p_idx}.com").parse().expect("probe name parses");
+    let unregistered_name: Name = format!("ur-audit-unregistered-{p_idx}.com")
+        .parse()
+        .expect("probe name parses");
     let sub_name = domains[4].child(b"ur-audit-probe").expect("subdomain fits");
     let etld_name: Name = "gov.cn".parse().expect("static");
     let try_class = |domain: &Name, class: DomainClass, cleanup: &mut Vec<ZoneId>| -> bool {
@@ -279,7 +292,10 @@ mod tests {
 
         // Every provider hosts without verification (the paper's headline).
         for (name, row) in &rows {
-            assert!(row.hosting_without_verification, "{name} should serve unverified");
+            assert!(
+                row.hosting_without_verification,
+                "{name} should serve unverified"
+            );
             assert!(row.sld, "{name} should host SLDs");
             assert!(row.etld, "{name} should host eTLDs");
         }

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! urhunter [--scale small|default] [--seed N] [--report summary|table1|figure2|figure3|table2|all]
+//!          [--parallelism N] [--batch-size N]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
 //! ```
+//!
+//! `--parallelism 0` (the default) sizes the classification worker pool
+//! from the machine; `--batch-size N` (N > 0) switches to the streaming
+//! stage-overlapped pipeline with N collected URs per batch. Both settings
+//! change wall-clock only — the output is bit-identical.
 //!
 //! Examples:
 //!   urhunter --report all
 //!   urhunter --scale default --seed 7 --report table1
+//!   urhunter --scale default --batch-size 64 --parallelism 4
 //!   urhunter --extended --payload-match --pcap sandbox.pcap
 
 use std::process::ExitCode;
@@ -18,6 +25,8 @@ struct Args {
     scale: String,
     seed: Option<u64>,
     report: String,
+    parallelism: Option<usize>,
+    batch_size: Option<usize>,
     extended: bool,
     expand_pdns: bool,
     payload_match: bool,
@@ -29,7 +38,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: urhunter [--scale small|default] [--seed N] \
          [--report summary|table1|figure2|figure3|table2|all]\n\
-         \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]"
+         \u{20}               [--parallelism N] [--batch-size N]\n\
+         \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
+         \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
+         \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch."
     );
     std::process::exit(2)
 }
@@ -39,6 +51,8 @@ fn parse_args() -> Args {
         scale: "small".to_string(),
         seed: None,
         report: "summary".to_string(),
+        parallelism: None,
+        batch_size: None,
         extended: false,
         expand_pdns: false,
         payload_match: false,
@@ -54,6 +68,14 @@ fn parse_args() -> Args {
                 args.seed = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--report" => args.report = it.next().unwrap_or_else(|| usage()),
+            "--parallelism" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.parallelism = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--batch-size" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--extended" => args.extended = true,
             "--expand-pdns" => args.expand_pdns = true,
             "--payload-match" => args.payload_match = true,
@@ -96,8 +118,17 @@ fn main() -> ExitCode {
     if args.payload_match {
         hunter = hunter.with_payload_matching();
     }
+    if let Some(workers) = args.parallelism {
+        hunter = hunter.with_parallelism(workers);
+    }
+    if let Some(batch) = args.batch_size {
+        hunter = hunter.with_stream_batch_size(batch);
+    }
 
-    eprintln!("generating world (scale={}, seed={})...", args.scale, config.seed);
+    eprintln!(
+        "generating world (scale={}, seed={})...",
+        args.scale, config.seed
+    );
     let mut world = World::generate(config);
     eprintln!(
         "scanning {} nameservers x {} targets...",
@@ -121,12 +152,8 @@ fn main() -> ExitCode {
             println!("{}", out.report.render_table1());
             println!("{}", out.report.render_figure2(5));
             print!("{}", out.report.render_figure3());
-            let fn_count = evaluate_false_negatives(
-                &mut world,
-                &out.correct_db,
-                &out.protective_db,
-                &hunter,
-            );
+            let fn_count =
+                evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &hunter);
             println!("\nfalse negatives on delegated records: {fn_count}");
         }
         other => {

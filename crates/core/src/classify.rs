@@ -172,7 +172,13 @@ fn classify_a(
     } else if cfg.use_pdns
         && !ur.records.is_empty()
         && ur.records.iter().all(|r| {
-            history.contains(&ur.key.domain, RecordType::A, &r.rdata, cfg.today, cfg.pdns_window)
+            history.contains(
+                &ur.key.domain,
+                RecordType::A,
+                &r.rdata,
+                cfg.today,
+                cfg.pdns_window,
+            )
         })
     {
         reason = Some(CorrectReason::PassiveDns);
@@ -190,7 +196,11 @@ fn classify_a(
         }
     }
 
-    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    let category = if reason.is_some() {
+        UrCategory::Correct
+    } else {
+        UrCategory::Unknown
+    };
     ClassifiedUr {
         ur: ur.clone(),
         category,
@@ -216,12 +226,22 @@ fn classify_txt(
     } else if cfg.use_pdns
         && !ur.records.is_empty()
         && ur.records.iter().all(|r| {
-            history.contains(&ur.key.domain, RecordType::Txt, &r.rdata, cfg.today, cfg.pdns_window)
+            history.contains(
+                &ur.key.domain,
+                RecordType::Txt,
+                &r.rdata,
+                cfg.today,
+                cfg.pdns_window,
+            )
         })
     {
         reason = Some(CorrectReason::PassiveDns);
     }
-    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    let category = if reason.is_some() {
+        UrCategory::Correct
+    } else {
+        UrCategory::Unknown
+    };
     // Corresponding IPs: addresses embedded in the TXT body (the sibling-A
     // fallback is resolved at analysis time, when all URs are visible).
     let mut embedded: Vec<Ipv4Addr> = Vec::new();
@@ -250,7 +270,11 @@ fn classify_mx(
 ) -> ClassifiedUr {
     let profile = correct.profile(&ur.key.domain);
     // Exchange addresses gathered by the collection follow-up.
-    let ips: Vec<Ipv4Addr> = ur.aux_records.iter().filter_map(|r| r.rdata.as_a()).collect();
+    let ips: Vec<Ipv4Addr> = ur
+        .aux_records
+        .iter()
+        .filter_map(|r| r.rdata.as_a())
+        .collect();
     let rendered: Vec<String> = ur.records.iter().map(|r| r.rdata.to_string()).collect();
 
     let mut reason = None;
@@ -259,7 +283,13 @@ fn classify_mx(
     } else if cfg.use_pdns
         && !ur.records.is_empty()
         && ur.records.iter().all(|r| {
-            history.contains(&ur.key.domain, RecordType::Mx, &r.rdata, cfg.today, cfg.pdns_window)
+            history.contains(
+                &ur.key.domain,
+                RecordType::Mx,
+                &r.rdata,
+                cfg.today,
+                cfg.pdns_window,
+            )
         })
     {
         reason = Some(CorrectReason::PassiveDns);
@@ -286,7 +316,11 @@ fn classify_mx(
             reason = Some(CorrectReason::GeoSubset);
         }
     }
-    let category = if reason.is_some() { UrCategory::Correct } else { UrCategory::Unknown };
+    let category = if reason.is_some() {
+        UrCategory::Correct
+    } else {
+        UrCategory::Unknown
+    };
     ClassifiedUr {
         ur: ur.clone(),
         category,
@@ -330,12 +364,106 @@ pub fn classify_all(
             }
         }
     }
-    let resolved = par_map(&distinct, workers, |ip| (*ip, AttrIndex::resolve(metadata, *ip)));
+    let resolved = par_map(&distinct, workers, |ip| {
+        (*ip, AttrIndex::resolve(metadata, *ip))
+    });
     let attrs = AttrIndex::from_resolved(resolved);
 
     par_map(urs, workers, |ur| {
         classify_ur_with(ur, correct, protective, metadata, &attrs, history, cfg)
     })
+}
+
+/// The streaming entry point to suspicious-record determination.
+///
+/// Where [`classify_all`] sees the whole UR set at once and resolves every
+/// distinct address up front, the stream classifier receives batches while
+/// collection is still driving the simulated clock on the main thread. Its
+/// [`AttrIndex`] grows incrementally: each batch's distinct new addresses
+/// are resolved once and absorbed into the shared index under a
+/// [`RwLock`], so addresses recurring across batches (shared C2s, CDN
+/// nodes, protective sinks) are still resolved exactly once per run.
+///
+/// Safe to call from several worker threads at once, and **bit-identical
+/// to the batch path** for every batch partition and thread count: the
+/// index is a pure cache (resolution is a pure function of the read-only
+/// [`NetDb`]), so its fill level never changes a classification — only how
+/// much work the fallback [`AttrIndex::get_or_resolve`] has to redo.
+pub struct StreamClassifier<'a> {
+    correct: &'a CorrectDb,
+    protective: &'a ProtectiveDb,
+    metadata: &'a NetDb,
+    history: &'a PassiveDns,
+    cfg: &'a ClassifyConfig,
+    attrs: std::sync::RwLock<AttrIndex>,
+}
+
+impl<'a> StreamClassifier<'a> {
+    /// A classifier over the stage databases; `cfg.parallelism` is ignored
+    /// here (the streaming executor owns the worker pool).
+    pub fn new(
+        correct: &'a CorrectDb,
+        protective: &'a ProtectiveDb,
+        metadata: &'a NetDb,
+        history: &'a PassiveDns,
+        cfg: &'a ClassifyConfig,
+    ) -> Self {
+        StreamClassifier {
+            correct,
+            protective,
+            metadata,
+            history,
+            cfg,
+            attrs: std::sync::RwLock::new(AttrIndex::default()),
+        }
+    }
+
+    /// Absorb the batch's distinct new addresses into the shared index,
+    /// then classify the batch in order. Results are exactly what
+    /// [`classify_all`] would produce for these URs at the same positions.
+    pub fn classify_batch(&self, batch: &[CollectedUr]) -> Vec<ClassifiedUr> {
+        // Resolve outside any lock: two workers racing on the same address
+        // compute the same pure result, and `absorb` keeps the first.
+        let missing: Vec<Ipv4Addr> = {
+            let attrs = self.attrs.read().expect("attr index lock");
+            let mut seen = HashSet::new();
+            batch
+                .iter()
+                .flat_map(ur_ips)
+                .filter(|ip| !attrs.contains(*ip) && seen.insert(*ip))
+                .collect()
+        };
+        if !missing.is_empty() {
+            let resolved: Vec<(Ipv4Addr, netdb::IpAttrs)> = missing
+                .into_iter()
+                .map(|ip| (ip, AttrIndex::resolve(self.metadata, ip)))
+                .collect();
+            self.attrs
+                .write()
+                .expect("attr index lock")
+                .absorb(resolved);
+        }
+        let attrs = self.attrs.read().expect("attr index lock");
+        batch
+            .iter()
+            .map(|ur| {
+                classify_ur_with(
+                    ur,
+                    self.correct,
+                    self.protective,
+                    self.metadata,
+                    &attrs,
+                    self.history,
+                    self.cfg,
+                )
+            })
+            .collect()
+    }
+
+    /// How many distinct addresses the incremental index has resolved.
+    pub fn distinct_ips(&self) -> usize {
+        self.attrs.read().expect("attr index lock").len()
+    }
 }
 
 #[cfg(test)]
@@ -355,7 +483,11 @@ mod tests {
 
     fn a_ur(domain: &str, ns: &str, addrs: &[&str]) -> CollectedUr {
         CollectedUr {
-            key: UrKey { ns_ip: ip(ns), domain: n(domain), rtype: RecordType::A },
+            key: UrKey {
+                ns_ip: ip(ns),
+                domain: n(domain),
+                rtype: RecordType::A,
+            },
             records: addrs
                 .iter()
                 .map(|a| Record::new(n(domain), 60, RData::A(ip(a))))
@@ -369,7 +501,11 @@ mod tests {
 
     fn txt_ur(domain: &str, ns: &str, text: &str) -> CollectedUr {
         CollectedUr {
-            key: UrKey { ns_ip: ip(ns), domain: n(domain), rtype: RecordType::Txt },
+            key: UrKey {
+                ns_ip: ip(ns),
+                domain: n(domain),
+                rtype: RecordType::Txt,
+            },
             records: vec![Record::new(n(domain), 60, RData::txt_from_str(text))],
             aux_records: Vec::new(),
             provider: "P".into(),
@@ -393,7 +529,9 @@ mod tests {
         profile.ips.insert(ip("30.0.0.11"));
         profile.asns.insert(65_000);
         profile.geos.insert((*b"US", 1));
-        profile.certs.insert(CertInfo::for_domain("site.com", "SimCA").fingerprint);
+        profile
+            .certs
+            .insert(CertInfo::for_domain("site.com", "SimCA").fingerprint);
         profile.txts.insert("v=spf1 ip4:30.0.0.10 -all".into());
         correct.domains.insert(n("site.com"), profile);
 
@@ -414,13 +552,32 @@ mod tests {
         protective.servers.insert(ip("20.0.0.1"), pp);
 
         let mut history = PassiveDns::new();
-        history.observe(n("site.com"), RecordType::A, RData::A(ip("31.0.0.10")), 500, 2_000);
+        history.observe(
+            n("site.com"),
+            RecordType::A,
+            RData::A(ip("31.0.0.10")),
+            500,
+            2_000,
+        );
 
-        Fixture { correct, protective, metadata, history, cfg: ClassifyConfig::default() }
+        Fixture {
+            correct,
+            protective,
+            metadata,
+            history,
+            cfg: ClassifyConfig::default(),
+        }
     }
 
     fn run(f: &Fixture, ur: &CollectedUr) -> ClassifiedUr {
-        classify_ur(ur, &f.correct, &f.protective, &f.metadata, &f.history, &f.cfg)
+        classify_ur(
+            ur,
+            &f.correct,
+            &f.protective,
+            &f.metadata,
+            &f.history,
+            &f.cfg,
+        )
     }
 
     #[test]
@@ -484,7 +641,10 @@ mod tests {
     #[test]
     fn txt_exact_match_correct() {
         let f = fixture();
-        let c = run(&f, &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:30.0.0.10 -all"));
+        let c = run(
+            &f,
+            &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:30.0.0.10 -all"),
+        );
         assert_eq!(c.category, UrCategory::Correct);
         assert_eq!(c.correct_reason, Some(CorrectReason::TxtExact));
         assert_eq!(c.txt_category, Some(TxtCategory::Spf));
@@ -493,7 +653,10 @@ mod tests {
     #[test]
     fn txt_spoofed_spf_is_suspicious_with_embedded_ips() {
         let f = fixture();
-        let c = run(&f, &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:40.0.0.10 -all"));
+        let c = run(
+            &f,
+            &txt_ur("site.com", "20.0.0.5", "v=spf1 ip4:40.0.0.10 -all"),
+        );
         assert_eq!(c.category, UrCategory::Unknown);
         assert_eq!(c.corresponding_ips, vec![ip("40.0.0.10")]);
         assert_eq!(c.txt_category, Some(TxtCategory::Spf));
@@ -522,7 +685,14 @@ mod tests {
             a_ur("site.com", "20.0.0.1", &["30.0.0.10"]),
             a_ur("site.com", "20.0.0.1", &["40.0.0.10"]),
         ];
-        let out = classify_all(&urs, &f.correct, &f.protective, &f.metadata, &f.history, &f.cfg);
+        let out = classify_all(
+            &urs,
+            &f.correct,
+            &f.protective,
+            &f.metadata,
+            &f.history,
+            &f.cfg,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].category, UrCategory::Correct);
         assert_eq!(out[1].category, UrCategory::Unknown);

@@ -78,7 +78,11 @@ pub(crate) fn query_one_ur(
         return None;
     }
     Some(CollectedUr {
-        key: UrKey { ns_ip, domain: domain.clone(), rtype },
+        key: UrKey {
+            ns_ip,
+            domain: domain.clone(),
+            rtype,
+        },
         records,
         aux_records: Vec::new(),
         provider: provider.into(),
@@ -87,9 +91,46 @@ pub(crate) fn query_one_ur(
     })
 }
 
+/// Deterministic query-id generator shared by the bulk scan and the §4.2
+/// false-negative evaluation.
+///
+/// A single global counter (`qid.wrapping_add(1).max(1)`) reuses ids after
+/// 65,535 probes *in total*, so on large worlds unrelated probes collide.
+/// Ids here are drawn per `(target, rtype)` stream: each stream walks the
+/// nonzero 16-bit space from its own hash-derived offset, so an id repeats
+/// only after 65,535 probes of the *same* target and record type — one per
+/// nameserver plus MX follow-ups — instead of 65,535 probes globally.
+#[derive(Debug, Default)]
+pub(crate) struct QidGen {
+    streams: std::collections::HashMap<(u32, u16), u32>,
+}
+
+impl QidGen {
+    /// A fresh generator (streams start at their hash-derived offsets).
+    pub(crate) fn new() -> Self {
+        QidGen::default()
+    }
+
+    /// The next id for the `(target, rtype)` probe stream: never zero,
+    /// never repeated within 65,535 consecutive probes of the stream.
+    pub(crate) fn next(&mut self, target_idx: usize, rtype: RecordType) -> u16 {
+        let key = (target_idx as u32, rtype.code());
+        let ctr = self.streams.entry(key).or_insert(0);
+        let base = (u64::from(key.0))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(key.1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let id = ((base as u32).wrapping_add(*ctr) % 0xFFFF) + 1;
+        *ctr = ctr.wrapping_add(1);
+        id as u16
+    }
+}
+
 /// Collect URs: query every selected nameserver for every target domain,
 /// excluding pairs where the domain is exactly delegated to that server.
 /// Only NOERROR responses with answers yield URs.
+///
+/// Thin wrapper over [`collect_urs_stream`] that accumulates the single
+/// unbounded batch; the streaming pipeline consumes batches directly.
 pub fn collect_urs(
     net: &mut Network,
     world_registry: &authdns::DelegationRegistry,
@@ -98,6 +139,42 @@ pub fn collect_urs(
     cfg: &CollectConfig,
     scheduler: &mut QueryScheduler,
 ) -> Vec<CollectedUr> {
+    let mut out: Vec<CollectedUr> = Vec::new();
+    collect_urs_stream(
+        net,
+        world_registry,
+        nameservers,
+        targets,
+        cfg,
+        scheduler,
+        usize::MAX,
+        &mut |batch| {
+            if out.is_empty() {
+                out = batch;
+            } else {
+                out.extend(batch);
+            }
+        },
+    );
+    out
+}
+
+/// Streaming collection: identical probe order, scheduling, and query ids
+/// to [`collect_urs`], but URs are emitted through `sink` in batches of
+/// `batch_size` (`0` or `usize::MAX` = one unbounded batch) as soon as
+/// they are assembled, so downstream stages can classify them while the
+/// scan is still driving the simulated network on this thread.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_urs_stream(
+    net: &mut Network,
+    world_registry: &authdns::DelegationRegistry,
+    nameservers: &[NsInfo],
+    targets: &[Name],
+    cfg: &CollectConfig,
+    scheduler: &mut QueryScheduler,
+    batch_size: usize,
+    sink: &mut dyn FnMut(Vec<CollectedUr>),
+) {
     // Per-target delegated-server sets, resolved once. The old per-pair
     // lookup re-ran registered_suffix + delegation_of and cloned the
     // delegation Vec for every (nameserver, target) combination —
@@ -128,13 +205,18 @@ pub fn collect_urs(
         }
     }
     scheduler.randomize(&mut tasks);
-    let mut out = Vec::new();
-    let mut qid: u16 = 1;
+    let batch_size = if batch_size == 0 {
+        usize::MAX
+    } else {
+        batch_size
+    };
+    let mut pending: Vec<CollectedUr> = Vec::new();
+    let mut qids = QidGen::new();
     for (ni, di, rtype) in tasks {
         let ns = &nameservers[ni];
         let domain = &targets[di];
         scheduler.admit(net, ns.ip);
-        qid = qid.wrapping_add(1).max(1);
+        let qid = qids.next(di, rtype);
         let Some(mut ur) =
             query_one_ur(net, cfg.scanner_ip, ns.ip, domain, rtype, qid, &ns.provider)
         else {
@@ -152,7 +234,7 @@ pub fn collect_urs(
                 })
                 .collect();
             for exchange in exchanges {
-                qid = qid.wrapping_add(1).max(1);
+                let qid = qids.next(di, rtype);
                 if let Some(aux) =
                     authdns::dns_query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
                 {
@@ -167,9 +249,14 @@ pub fn collect_urs(
                 }
             }
         }
-        out.push(ur);
+        pending.push(ur);
+        if pending.len() >= batch_size {
+            sink(std::mem::take(&mut pending));
+        }
     }
-    out
+    if !pending.is_empty() {
+        sink(pending);
+    }
 }
 
 /// Collect correct records: ask a sample of stable open resolvers for each
@@ -183,7 +270,11 @@ pub fn collect_correct(
     targets: &[Name],
     cfg: &CollectConfig,
 ) -> CorrectDb {
-    let stable: Vec<Ipv4Addr> = resolvers.iter().filter(|r| r.stable).map(|r| r.ip).collect();
+    let stable: Vec<Ipv4Addr> = resolvers
+        .iter()
+        .filter(|r| r.stable)
+        .map(|r| r.ip)
+        .collect();
     assert!(!stable.is_empty(), "world has no stable resolvers");
     let mut db = CorrectDb::default();
     let mut qid: u16 = 0x2000;
@@ -195,8 +286,7 @@ pub fn collect_correct(
             let resolver = stable[(di * 31 + j * 7) % stable.len()];
             for rt in [RecordType::A, RecordType::Txt, RecordType::Mx] {
                 qid = qid.wrapping_add(1).max(1);
-                let Some(resp) =
-                    authdns::dns_query(net, cfg.scanner_ip, resolver, domain, rt, qid)
+                let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, resolver, domain, rt, qid)
                 else {
                     continue;
                 };
@@ -238,7 +328,9 @@ pub fn collect_protective(
     nameservers: &[NsInfo],
     cfg: &CollectConfig,
 ) -> ProtectiveDb {
-    let canary: Name = "urhunter-canary-probe.com".parse().expect("static canary parses");
+    let canary: Name = "urhunter-canary-probe.com"
+        .parse()
+        .expect("static canary parses");
     let mut db = ProtectiveDb::default();
     let mut qid: u16 = 0x3000;
     for ns in nameservers {
@@ -305,8 +397,9 @@ mod tests {
         assert!(!urs.is_empty());
         // at least one planted campaign's UR must be collected
         let planted = &world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]];
-        let found = urs.iter().any(|u| u.key.domain == planted.domain
-            && u.a_ips().contains(&planted.c2_ips[0]));
+        let found = urs
+            .iter()
+            .any(|u| u.key.domain == planted.domain && u.a_ips().contains(&planted.c2_ips[0]));
         assert!(found, "Dark.IoT UR must be collected");
         // no UR may be for a domain delegated to that very nameserver
         for u in &urs {
@@ -315,14 +408,21 @@ mod tests {
                 .delegation_of(&u.key.domain)
                 .map(|d| d.iter().any(|(_, ip)| *ip == u.key.ns_ip))
                 .unwrap_or(false);
-            assert!(!delegated_here, "{} exactly delegated to {}", u.key.domain, u.key.ns_ip);
+            assert!(
+                !delegated_here,
+                "{} exactly delegated to {}",
+                u.key.domain, u.key.ns_ip
+            );
         }
     }
 
     #[test]
     fn correct_db_covers_targets_with_real_ips() {
         let mut world = World::generate(WorldConfig::small());
-        let cfg = CollectConfig { resolvers_per_domain: 3, ..CollectConfig::default() };
+        let cfg = CollectConfig {
+            resolvers_per_domain: 3,
+            ..CollectConfig::default()
+        };
         let targets: Vec<Name> = world.tranco.top(10).to_vec();
         let db = collect_correct(&mut world.net, &world.resolvers, &world.db, &targets, &cfg);
         let mut resolved = 0;
@@ -333,7 +433,10 @@ mod tests {
                 assert!(!p.asns.is_empty(), "{d}: enrichment missing ASNs");
             }
         }
-        assert!(resolved >= 8, "only {resolved}/10 targets resolved correctly");
+        assert!(
+            resolved >= 8,
+            "only {resolved}/10 targets resolved correctly"
+        );
     }
 
     #[test]

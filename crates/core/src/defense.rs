@@ -43,7 +43,10 @@ impl EgressMonitor {
     /// (first-octet granularity, enough for the simulation's address plan)
     /// and should only use `sanctioned_resolvers`.
     pub fn new(sanctioned_resolvers: HashSet<Ipv4Addr>, internal_prefixes: Vec<u8>) -> Self {
-        EgressMonitor { sanctioned_resolvers, internal_prefixes }
+        EgressMonitor {
+            sanctioned_resolvers,
+            internal_prefixes,
+        }
     }
 
     fn is_internal(&self, ip: Ipv4Addr) -> bool {
@@ -64,14 +67,21 @@ impl EgressMonitor {
                 continue;
             }
             let (qname, qtype) = match Message::decode(&f.payload) {
-                Ok(m) if !m.flags.response => {
-                    (m.question().map(|q| q.qname.clone()), m.question().map(|q| q.qtype))
-                }
+                Ok(m) if !m.flags.response => (
+                    m.question().map(|q| q.qname.clone()),
+                    m.question().map(|q| q.qtype),
+                ),
                 // Response or non-DNS payload on port 53: still suspicious
                 // enough to flag the exchange, without parsed context.
                 _ => (None, None),
             };
-            alerts.push(BypassAlert { at: f.at, client: f.src.ip, server: f.dst.ip, qname, qtype });
+            alerts.push(BypassAlert {
+                at: f.at,
+                client: f.src.ip,
+                server: f.dst.ip,
+                qname,
+                qtype,
+            });
         }
         alerts
     }
@@ -121,13 +131,17 @@ mod tests {
         // the UR domain is visible in the flagged queries
         let dark = &world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]];
         assert!(
-            alerts.iter().any(|a| a.qname.as_ref() == Some(&dark.domain)),
+            alerts
+                .iter()
+                .any(|a| a.qname.as_ref() == Some(&dark.domain)),
             "the UR lookup itself must appear in the alerts"
         );
         // benign resolution through the sanctioned resolver stays silent:
         // no alert for the benign sample's domain
         let benign_domain = &world.tranco.domains()[0];
-        assert!(alerts.iter().all(|a| a.qname.as_ref() != Some(benign_domain)));
+        assert!(alerts
+            .iter()
+            .all(|a| a.qname.as_ref() != Some(benign_domain)));
     }
 
     #[test]
@@ -152,6 +166,9 @@ mod tests {
         let alerts = monitor.scan(&flows);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].server, Ipv4Addr::new(20, 1, 0, 1));
-        assert!(alerts[0].qname.is_none(), "garbage payload still flagged, unparsed");
+        assert!(
+            alerts[0].qname.is_none(),
+            "garbage payload still flagged, unparsed"
+        );
     }
 }

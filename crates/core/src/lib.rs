@@ -49,14 +49,16 @@ pub mod types;
 
 pub use analyze::{analyze, evidence_histogram, run_sandboxes, Analysis, AnalyzeConfig};
 pub use audit::{audit_provider, audit_table2, AuditRow};
-pub use classify::{classify_all, classify_ur, ClassifyConfig};
+pub use classify::{classify_all, classify_ur, ClassifyConfig, StreamClassifier};
 pub use collect::{
-    collect_correct, collect_protective, collect_urs, select_nameservers, CollectConfig,
-    NS_SELECTION_THRESHOLD,
+    collect_correct, collect_protective, collect_urs, collect_urs_stream, select_nameservers,
+    CollectConfig, NS_SELECTION_THRESHOLD,
 };
 pub use defense::{BypassAlert, EgressMonitor};
-pub use pipeline::{evaluate_false_negatives, run, HunterConfig, RunOutput};
-pub use report::{build_report, ProviderRow, Report, Table1Row, Totals};
+pub use pipeline::{
+    classified_sequence_hash, evaluate_false_negatives, run, HunterConfig, RunOutput,
+};
+pub use report::{build_report, ProviderRow, Report, ReportBuilder, Table1Row, Totals};
 pub use schedule::{QueryScheduler, PAPER_PER_SERVER_INTERVAL};
 pub use types::{
     ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, DomainProfile, MaliciousEvidence,

@@ -2,10 +2,10 @@
 //! malicious-behaviour analysis → report.
 
 use crate::analyze::{analyze, run_sandboxes, Analysis, AnalyzeConfig};
-use crate::classify::{classify_all, ClassifyConfig};
+use crate::classify::{classify_all, ClassifyConfig, StreamClassifier};
 use crate::collect::{
-    collect_correct, collect_protective, collect_urs, query_one_ur, select_nameservers,
-    CollectConfig,
+    collect_correct, collect_protective, collect_urs, collect_urs_stream, query_one_ur,
+    select_nameservers, CollectConfig, QidGen,
 };
 use crate::report::{build_report, Report};
 use crate::schedule::QueryScheduler;
@@ -36,6 +36,18 @@ pub struct HunterConfig {
     /// Results are bit-identical for every value; collection stays
     /// single-threaded because the simulated network is not `Sync`.
     pub parallelism: usize,
+    /// Streaming batch size: `0` runs the legacy strict-batch pipeline
+    /// (collect everything, then classify); `n > 0` streams URs from the
+    /// collector to the classification workers in batches of `n`, so
+    /// collection latency and classification compute overlap. The output
+    /// is bit-identical either way, for every batch size and worker count
+    /// (pinned by `tests/streaming.rs`).
+    pub stream_batch_size: usize,
+    /// Keep the raw [`CollectedUr`] set in [`RunOutput::collected`].
+    /// Defaults to `true` (tests and examples inspect it); bench binaries
+    /// turn it off so large-world runs don't hold every UR twice — each
+    /// [`ClassifiedUr`] already embeds its collected record.
+    pub keep_raw_collected: bool,
 }
 
 impl HunterConfig {
@@ -50,6 +62,8 @@ impl HunterConfig {
             scheduler_seed: 0x5545,
             expand_targets_from_pdns: false,
             parallelism: 0,
+            stream_batch_size: 0,
+            keep_raw_collected: true,
         }
     }
 
@@ -88,6 +102,20 @@ impl HunterConfig {
         self
     }
 
+    /// Enable the streaming stage-overlapped pipeline with this batch size
+    /// (see [`HunterConfig::stream_batch_size`]; `0` reverts to the legacy
+    /// strict-batch path).
+    pub fn with_stream_batch_size(mut self, batch: usize) -> Self {
+        self.stream_batch_size = batch;
+        self
+    }
+
+    /// Set raw-UR retention (see [`HunterConfig::keep_raw_collected`]).
+    pub fn with_keep_raw_collected(mut self, keep: bool) -> Self {
+        self.keep_raw_collected = keep;
+        self
+    }
+
     /// The classify config with the pipeline-level overrides applied.
     fn classify_cfg(&self, today: pdns::Day) -> ClassifyConfig {
         let mut cfg = self.classify.clone();
@@ -108,7 +136,9 @@ impl HunterConfig {
 pub struct RunOutput {
     /// The selected nameservers.
     pub nameservers: Vec<NsInfo>,
-    /// Raw collected URs.
+    /// Raw collected URs — empty when
+    /// [`HunterConfig::keep_raw_collected`] is off (every classified UR
+    /// still embeds its collected record).
     pub collected: Vec<CollectedUr>,
     /// Classified URs (final categories).
     pub classified: Vec<ClassifiedUr>,
@@ -151,34 +181,93 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     // the bulk scan and re-enabled for the sandbox phase the IDS inspects.
     world.net.trace.set_enabled(false);
     let protective_db = collect_protective(&mut world.net, &nameservers, &cfg.collect);
-    let correct_db =
-        collect_correct(&mut world.net, &world.resolvers, &world.db, &targets, &cfg.collect);
-
-    let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
-    let collected = collect_urs(
+    let correct_db = collect_correct(
         &mut world.net,
-        &world.registry,
-        &nameservers,
+        &world.resolvers,
+        &world.db,
         &targets,
         &cfg.collect,
-        &mut scheduler,
     );
-    world.net.trace.set_enabled(true);
 
+    let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
     let classify_cfg = cfg.classify_cfg(world.config.today);
-    let mut classified = classify_all(
-        &collected,
-        &correct_db,
-        &protective_db,
-        &world.db,
-        &world.pdns,
-        &classify_cfg,
-    );
+    let (mut collected, mut classified) = if cfg.stream_batch_size == 0 {
+        // Legacy strict-batch path: materialize every UR, then classify.
+        let collected = collect_urs(
+            &mut world.net,
+            &world.registry,
+            &nameservers,
+            &targets,
+            &cfg.collect,
+            &mut scheduler,
+        );
+        let classified = classify_all(
+            &collected,
+            &correct_db,
+            &protective_db,
+            &world.db,
+            &world.pdns,
+            &classify_cfg,
+        );
+        (collected, classified)
+    } else {
+        // Streaming stage-overlapped path: the collector keeps driving the
+        // simulated network on this thread and hands sequence-numbered
+        // batches to classification workers through a bounded channel; a
+        // splicer re-establishes collection order, so the outcome is
+        // bit-identical to the batch path above.
+        let streamer = StreamClassifier::new(
+            &correct_db,
+            &protective_db,
+            &world.db,
+            &world.pdns,
+            &classify_cfg,
+        );
+        let workers = par::Parallelism::from_knob(cfg.parallelism);
+        let capacity = workers.get().saturating_mul(2).max(4);
+        let keep_raw = cfg.keep_raw_collected;
+        let net = &mut world.net;
+        let registry = &world.registry;
+        par::ordered_pipeline(
+            workers,
+            capacity,
+            |sink: &mut dyn FnMut(Vec<CollectedUr>)| {
+                collect_urs_stream(
+                    net,
+                    registry,
+                    &nameservers,
+                    &targets,
+                    &cfg.collect,
+                    &mut scheduler,
+                    cfg.stream_batch_size,
+                    sink,
+                );
+            },
+            |batch: Vec<CollectedUr>| {
+                let classified = streamer.classify_batch(&batch);
+                (if keep_raw { batch } else { Vec::new() }, classified)
+            },
+            (Vec::new(), Vec::new()),
+            |acc: &mut (Vec<CollectedUr>, Vec<ClassifiedUr>), (raw, cls)| {
+                acc.0.extend(raw);
+                acc.1.extend(cls);
+            },
+        )
+    };
+    world.net.trace.set_enabled(true);
+    if !cfg.keep_raw_collected {
+        collected = Vec::new();
+    }
 
     let analyze_cfg = cfg.analyze_cfg();
     let samples = world.samples.clone();
-    let (reports, ids_malicious) =
-        run_sandboxes(&mut world.net, &world.sandbox, &world.ids, &samples, &analyze_cfg);
+    let (reports, ids_malicious) = run_sandboxes(
+        &mut world.net,
+        &world.sandbox,
+        &world.ids,
+        &samples,
+        &analyze_cfg,
+    );
     let analysis = analyze(
         &mut classified,
         &world.intel,
@@ -189,7 +278,35 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     );
     let report = build_report(&classified, &analysis, &world.intel);
 
-    RunOutput { nameservers, collected, classified, analysis, report, correct_db, protective_db }
+    RunOutput {
+        nameservers,
+        collected,
+        classified,
+        analysis,
+        report,
+        correct_db,
+        protective_db,
+    }
+}
+
+/// Order-sensitive digest of a classified sequence: every UR's identity
+/// triple and final category feed the hash in order, so two runs (or the
+/// batch and streaming paths) agree iff they produced the same URs, in the
+/// same order, with the same categories.
+pub fn classified_sequence_hash(classified: &[ClassifiedUr]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    // DefaultHasher with fixed (default) keys: stable within a test binary,
+    // which is all the equivalence assertions need.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for c in classified {
+        c.ur.key.ns_ip.hash(&mut h);
+        c.ur.key.domain.hash(&mut h);
+        c.ur.key.rtype.code().hash(&mut h);
+        (c.category as u8).hash(&mut h);
+        c.correct_reason.map(|r| r as u8).hash(&mut h);
+        c.corresponding_ips.hash(&mut h);
+    }
+    h.finish()
 }
 
 /// §4.2's false-negative evaluation: feed the *delegated* records of every
@@ -204,14 +321,14 @@ pub fn evaluate_false_negatives(
     let classify_cfg = cfg.classify_cfg(world.config.today);
     let targets: Vec<dnswire::Name> = world.tranco.domains().to_vec();
     let mut delegated_inputs: Vec<CollectedUr> = Vec::new();
-    let mut qid = 0x6000u16;
-    for domain in &targets {
+    let mut qids = QidGen::new();
+    for (ti, domain) in targets.iter().enumerate() {
         let Some(delegation) = world.registry.delegation_of(domain).map(|d| d.to_vec()) else {
             continue;
         };
         for (_, ns_ip) in delegation.iter().take(1) {
             for &rtype in &cfg.collect.query_types {
-                qid = qid.wrapping_add(1).max(1);
+                let qid = qids.next(ti, rtype);
                 // Same probe + assembly path as the bulk scan, so the
                 // evaluation exercises the exact production logic.
                 if let Some(ur) = query_one_ur(
@@ -259,16 +376,20 @@ mod tests {
         // Every category is represented.
         let t = out.report.totals;
         assert!(t.total > 0, "no URs collected");
-        assert!(t.correct > 0, "no correct URs (CDN/past-delegation/oracle expected)");
+        assert!(
+            t.correct > 0,
+            "no correct URs (CDN/past-delegation/oracle expected)"
+        );
         assert!(t.protective > 0, "no protective URs (ClouDNS expected)");
         assert!(t.unknown > 0, "no unknown URs");
         assert!(t.malicious > 0, "no malicious URs");
 
         // Detectable case-study campaigns must surface as malicious.
         let dark = &world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]];
-        let found = out.classified.iter().any(|c| {
-            c.ur.key.domain == dark.domain && c.category == UrCategory::Malicious
-        });
+        let found = out
+            .classified
+            .iter()
+            .any(|c| c.ur.key.domain == dark.domain && c.category == UrCategory::Malicious);
         assert!(found, "Dark.IoT UR not classified malicious");
 
         // Specter (IDS-only) must also surface, with IdsOnly evidence.
@@ -306,6 +427,8 @@ mod tests {
 
     #[test]
     fn pipeline_is_deterministic() {
+        // Hash the complete per-UR classified sequence, not just coarse
+        // totals — a reordering or category flip anywhere must show up.
         let run_once = || {
             let mut world = World::generate(WorldConfig::small());
             let out = run(&mut world, &HunterConfig::fast());
@@ -313,6 +436,7 @@ mod tests {
                 out.report.totals,
                 out.collected.len(),
                 out.analysis.evidence.len(),
+                classified_sequence_hash(&out.classified),
             )
         };
         assert_eq!(run_once(), run_once());

@@ -106,41 +106,125 @@ pub struct Report {
 }
 
 /// Build the report from classified URs and the analysis.
+///
+/// Thin wrapper over [`ReportBuilder`]: one absorb of the whole slice,
+/// then finish. The streaming pipeline absorbs batch by batch instead.
 pub fn build_report(
     classified: &[ClassifiedUr],
     analysis: &Analysis,
     intel: &IntelAggregator,
 ) -> Report {
-    let mut totals = Totals { total: classified.len(), ..Totals::default() };
-    for c in classified {
-        match c.category {
-            UrCategory::Correct => totals.correct += 1,
-            UrCategory::Protective => totals.protective += 1,
-            UrCategory::Unknown => totals.unknown += 1,
-            UrCategory::Malicious => totals.malicious += 1,
+    let mut builder = ReportBuilder::new();
+    builder.absorb(classified);
+    builder.finish(analysis, intel)
+}
+
+/// Distinct-entity accumulator behind one Table 1 row.
+#[derive(Debug, Default)]
+struct Table1Acc {
+    domains: HashSet<dnswire::Name>,
+    domains_mal: HashSet<dnswire::Name>,
+    nameservers: HashSet<Ipv4Addr>,
+    nameservers_mal: HashSet<Ipv4Addr>,
+    providers: HashSet<String>,
+    providers_mal: HashSet<String>,
+    urs: usize,
+    urs_mal: usize,
+    ips: HashSet<Ipv4Addr>,
+    ips_mal: HashSet<Ipv4Addr>,
+}
+
+impl Table1Acc {
+    /// Absorb one suspicious (unknown or malicious) UR.
+    fn absorb(&mut self, c: &ClassifiedUr) {
+        let malicious = c.category == UrCategory::Malicious;
+        self.urs += 1;
+        self.domains.insert(c.ur.key.domain.clone());
+        self.nameservers.insert(c.ur.key.ns_ip);
+        self.providers.insert(c.ur.provider.clone());
+        self.ips.extend(c.corresponding_ips.iter().copied());
+        if malicious {
+            self.urs_mal += 1;
+            self.domains_mal.insert(c.ur.key.domain.clone());
+            self.nameservers_mal.insert(c.ur.key.ns_ip);
+            self.providers_mal.insert(c.ur.provider.clone());
+            self.ips_mal.extend(c.corresponding_ips.iter().copied());
         }
     }
 
-    let mut table1 = vec![
-        table1_row("A", classified, |c| c.ur.key.rtype == RecordType::A),
-        table1_row("TXT", classified, |c| c.ur.key.rtype == RecordType::Txt),
-    ];
-    if classified.iter().any(|c| c.ur.key.rtype == RecordType::Mx) {
-        table1.push(table1_row("MX", classified, |c| c.ur.key.rtype == RecordType::Mx));
+    fn row(&self, label: &'static str) -> Table1Row {
+        Table1Row {
+            label,
+            domains: self.domains.len(),
+            domains_malicious: self.domains_mal.len(),
+            nameservers: self.nameservers.len(),
+            nameservers_malicious: self.nameservers_mal.len(),
+            providers: self.providers.len(),
+            providers_malicious: self.providers_mal.len(),
+            urs: self.urs,
+            urs_malicious: self.urs_mal,
+            ips: self.ips.len(),
+            ips_malicious: self.ips_mal.len(),
+        }
     }
-    table1.push(table1_row("Total", classified, |_| true));
+}
 
-    // Per-provider mixes.
-    let mut by_provider: BTreeMap<String, ProviderRow> = BTreeMap::new();
-    for c in classified {
-        let row = by_provider.entry(c.ur.provider.clone()).or_insert_with(|| ProviderRow {
-            provider: c.ur.provider.clone(),
-            total: 0,
-            correct: 0,
-            protective: 0,
-            unknown: 0,
-            malicious: 0,
-        });
+/// Incremental report aggregation: absorb classified URs batch by batch,
+/// then [`finish`](ReportBuilder::finish) against the analysis.
+///
+/// This is the streaming pipeline's fold — per-UR state is reduced into
+/// counters and distinct-entity sets as each batch arrives, so the
+/// aggregation never needs the whole classified set resident at once and
+/// the result is identical to a one-shot [`build_report`] over the
+/// concatenated batches (absorption is order-insensitive up to the input
+/// order itself, which the streaming splicer already guarantees).
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    totals: Totals,
+    by_provider: BTreeMap<String, ProviderRow>,
+    acc_a: Table1Acc,
+    acc_txt: Table1Acc,
+    acc_mx: Table1Acc,
+    acc_total: Table1Acc,
+    saw_mx: bool,
+    txt_email: usize,
+    txt_malicious: usize,
+}
+
+impl ReportBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ReportBuilder::default()
+    }
+
+    /// Absorb one batch of classified URs.
+    pub fn absorb(&mut self, batch: &[ClassifiedUr]) {
+        for c in batch {
+            self.absorb_one(c);
+        }
+    }
+
+    /// Absorb a single classified UR.
+    pub fn absorb_one(&mut self, c: &ClassifiedUr) {
+        self.totals.total += 1;
+        match c.category {
+            UrCategory::Correct => self.totals.correct += 1,
+            UrCategory::Protective => self.totals.protective += 1,
+            UrCategory::Unknown => self.totals.unknown += 1,
+            UrCategory::Malicious => self.totals.malicious += 1,
+        }
+
+        let row = self
+            .by_provider
+            .entry(c.ur.provider.clone())
+            .or_insert_with(|| ProviderRow {
+                provider: c.ur.provider.clone(),
+                total: 0,
+                correct: 0,
+                protective: 0,
+                unknown: 0,
+                malicious: 0,
+            });
         row.total += 1;
         match c.category {
             UrCategory::Correct => row.correct += 1,
@@ -148,78 +232,78 @@ pub fn build_report(
             UrCategory::Unknown => row.unknown += 1,
             UrCategory::Malicious => row.malicious += 1,
         }
+
+        self.saw_mx |= c.ur.key.rtype == RecordType::Mx;
+        if matches!(c.category, UrCategory::Unknown | UrCategory::Malicious) {
+            match c.ur.key.rtype {
+                RecordType::A => self.acc_a.absorb(c),
+                RecordType::Txt => self.acc_txt.absorb(c),
+                RecordType::Mx => self.acc_mx.absorb(c),
+                _ => {}
+            }
+            self.acc_total.absorb(c);
+        }
+        if c.category == UrCategory::Malicious && c.ur.key.rtype == RecordType::Txt {
+            self.txt_malicious += 1;
+            if c.txt_category
+                .map(|t| t.is_email_related())
+                .unwrap_or(false)
+            {
+                self.txt_email += 1;
+            }
+        }
+
+        // Note for the memory budget: the categories this fold sees must
+        // be final, i.e. absorption happens after the malicious-promotion
+        // pass of `analyze` (which needs the classified set anyway).
     }
-    let mut providers: Vec<ProviderRow> = by_provider.into_values().collect();
-    providers.sort_by(|a, b| b.total.cmp(&a.total).then(a.provider.cmp(&b.provider)));
 
-    // Fig. 3 series.
-    let fig3a = crate::analyze::evidence_histogram(analysis);
-    let malicious_ips: Vec<Ipv4Addr> = analysis.evidence.keys().copied().collect();
-    let vendor_flagged: Vec<Ipv4Addr> = malicious_ips
-        .iter()
-        .copied()
-        .filter(|ip| {
-            matches!(
-                analysis.evidence.get(ip),
-                Some(MaliciousEvidence::VendorOnly | MaliciousEvidence::Both)
-            )
-        })
-        .collect();
-    let fig3b = intel.flag_count_histogram(vendor_flagged.iter());
-    let mut fig3c: BTreeMap<AlertCategory, usize> = BTreeMap::new();
-    for a in &analysis.alerts_toward_malicious {
-        *fig3c.entry(a.category).or_insert(0) += 1;
+    /// Number of URs absorbed so far.
+    pub fn absorbed(&self) -> usize {
+        self.totals.total
     }
-    let fig3d = intel.tag_prevalence(vendor_flagged.iter());
 
-    // Email-related share of malicious TXT URs.
-    let malicious_txt: Vec<&ClassifiedUr> = classified
-        .iter()
-        .filter(|c| c.category == UrCategory::Malicious && c.ur.key.rtype == RecordType::Txt)
-        .collect();
-    let email = malicious_txt
-        .iter()
-        .filter(|c| c.txt_category.map(|t| t.is_email_related()).unwrap_or(false))
-        .count();
-    let txt_email_related = (email, malicious_txt.len());
+    /// Close the fold against the analysis outputs and produce the report.
+    pub fn finish(self, analysis: &Analysis, intel: &IntelAggregator) -> Report {
+        let mut table1 = vec![self.acc_a.row("A"), self.acc_txt.row("TXT")];
+        if self.saw_mx {
+            table1.push(self.acc_mx.row("MX"));
+        }
+        table1.push(self.acc_total.row("Total"));
 
-    Report { totals, table1, providers, fig3a, fig3b, fig3c, fig3d, txt_email_related }
-}
+        let mut providers: Vec<ProviderRow> = self.by_provider.into_values().collect();
+        providers.sort_by(|a, b| b.total.cmp(&a.total).then(a.provider.cmp(&b.provider)));
 
-fn table1_row(
-    label: &'static str,
-    classified: &[ClassifiedUr],
-    select: impl Fn(&&ClassifiedUr) -> bool,
-) -> Table1Row {
-    let suspicious: Vec<&ClassifiedUr> = classified
-        .iter()
-        .filter(|c| matches!(c.category, UrCategory::Unknown | UrCategory::Malicious))
-        .filter(&select)
-        .collect();
-    let malicious: Vec<&&ClassifiedUr> =
-        suspicious.iter().filter(|c| c.category == UrCategory::Malicious).collect();
+        // Fig. 3 series.
+        let fig3a = crate::analyze::evidence_histogram(analysis);
+        let malicious_ips: Vec<Ipv4Addr> = analysis.evidence.keys().copied().collect();
+        let vendor_flagged: Vec<Ipv4Addr> = malicious_ips
+            .iter()
+            .copied()
+            .filter(|ip| {
+                matches!(
+                    analysis.evidence.get(ip),
+                    Some(MaliciousEvidence::VendorOnly | MaliciousEvidence::Both)
+                )
+            })
+            .collect();
+        let fig3b = intel.flag_count_histogram(vendor_flagged.iter());
+        let mut fig3c: BTreeMap<AlertCategory, usize> = BTreeMap::new();
+        for a in &analysis.alerts_toward_malicious {
+            *fig3c.entry(a.category).or_insert(0) += 1;
+        }
+        let fig3d = intel.tag_prevalence(vendor_flagged.iter());
 
-    let domains: HashSet<_> = suspicious.iter().map(|c| c.ur.key.domain.clone()).collect();
-    let domains_mal: HashSet<_> = malicious.iter().map(|c| c.ur.key.domain.clone()).collect();
-    let ns: HashSet<_> = suspicious.iter().map(|c| c.ur.key.ns_ip).collect();
-    let ns_mal: HashSet<_> = malicious.iter().map(|c| c.ur.key.ns_ip).collect();
-    let prov: HashSet<_> = suspicious.iter().map(|c| c.ur.provider.clone()).collect();
-    let prov_mal: HashSet<_> = malicious.iter().map(|c| c.ur.provider.clone()).collect();
-    let ips: HashSet<_> = suspicious.iter().flat_map(|c| c.corresponding_ips.iter()).collect();
-    let ips_mal: HashSet<_> = malicious.iter().flat_map(|c| c.corresponding_ips.iter()).collect();
-
-    Table1Row {
-        label,
-        domains: domains.len(),
-        domains_malicious: domains_mal.len(),
-        nameservers: ns.len(),
-        nameservers_malicious: ns_mal.len(),
-        providers: prov.len(),
-        providers_malicious: prov_mal.len(),
-        urs: suspicious.len(),
-        urs_malicious: malicious.len(),
-        ips: ips.len(),
-        ips_malicious: ips_mal.len(),
+        Report {
+            totals: self.totals,
+            table1,
+            providers,
+            fig3a,
+            fig3b,
+            fig3c,
+            fig3d,
+            txt_email_related: (self.txt_email, self.txt_malicious),
+        }
     }
 }
 
@@ -242,7 +326,12 @@ impl Report {
         let _ = writeln!(
             s,
             "{:<6} {:>22} {:>22} {:>22} {:>26} {:>22}",
-            "Cat.", "#Domain (mal)", "#Nameserver (mal)", "#Provider (mal)", "#UR (mal)", "#IP (mal)"
+            "Cat.",
+            "#Domain (mal)",
+            "#Nameserver (mal)",
+            "#Provider (mal)",
+            "#UR (mal)",
+            "#IP (mal)"
         );
         for r in &self.table1 {
             let _ = writeln!(
@@ -273,7 +362,10 @@ impl Report {
     /// providers by UR volume.
     pub fn render_figure2(&self, k: usize) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 2: UR categories among the top {k} providers by UR count");
+        let _ = writeln!(
+            s,
+            "Figure 2: UR categories among the top {k} providers by UR count"
+        );
         let _ = writeln!(
             s,
             "{:<16} {:>9} {:>9} {:>11} {:>9} {:>10}",
@@ -303,18 +395,36 @@ impl Report {
             let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k, v, pct(*v, total_mal_ips));
         }
         let flagged: usize = self.fig3b.values().sum();
-        let _ = writeln!(s, "Figure 3(b): #vendors flagging each (vendor-flagged) malicious IP");
+        let _ = writeln!(
+            s,
+            "Figure 3(b): #vendors flagging each (vendor-flagged) malicious IP"
+        );
         for (k, v) in &self.fig3b {
             let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k, v, pct(*v, flagged));
         }
         let alerts: usize = self.fig3c.values().sum();
         let _ = writeln!(s, "Figure 3(c): IDS alert categories toward malicious IPs");
         for (k, v) in &self.fig3c {
-            let _ = writeln!(s, "  {:<18} {:>6} ({:>5.2}%)", k.to_string(), v, pct(*v, alerts));
+            let _ = writeln!(
+                s,
+                "  {:<18} {:>6} ({:>5.2}%)",
+                k.to_string(),
+                v,
+                pct(*v, alerts)
+            );
         }
-        let _ = writeln!(s, "Figure 3(d): vendor tags over (vendor-flagged) malicious IPs");
+        let _ = writeln!(
+            s,
+            "Figure 3(d): vendor tags over (vendor-flagged) malicious IPs"
+        );
         for (k, v) in self.fig3d.iter().rev() {
-            let _ = writeln!(s, "  {:<12} {:>6} ({:>5.2}%)", k.to_string(), v, pct(*v, flagged));
+            let _ = writeln!(
+                s,
+                "  {:<12} {:>6} ({:>5.2}%)",
+                k.to_string(),
+                v,
+                pct(*v, flagged)
+            );
         }
         s
     }
@@ -359,10 +469,21 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn mk(domain: &str, ns: &str, provider: &str, rtype: RecordType, category: UrCategory, ips: Vec<Ipv4Addr>) -> ClassifiedUr {
+    fn mk(
+        domain: &str,
+        ns: &str,
+        provider: &str,
+        rtype: RecordType,
+        category: UrCategory,
+        ips: Vec<Ipv4Addr>,
+    ) -> ClassifiedUr {
         ClassifiedUr {
             ur: CollectedUr {
-                key: UrKey { ns_ip: ns.parse().unwrap(), domain: n(domain), rtype },
+                key: UrKey {
+                    ns_ip: ns.parse().unwrap(),
+                    domain: n(domain),
+                    rtype,
+                },
                 records: vec![Record::new(n(domain), 60, RData::A(ip("1.1.1.1")))],
                 aux_records: Vec::new(),
                 provider: provider.into(),
@@ -384,12 +505,54 @@ mod tests {
     fn sample_report() -> Report {
         let bad = ip("40.0.0.1");
         let mut classified = vec![
-            mk("a.com", "20.0.0.1", "P1", RecordType::A, UrCategory::Unknown, vec![bad]),
-            mk("a.com", "20.0.0.2", "P1", RecordType::A, UrCategory::Unknown, vec![bad]),
-            mk("b.com", "20.1.0.1", "P2", RecordType::Txt, UrCategory::Unknown, vec![bad]),
-            mk("c.com", "20.1.0.1", "P2", RecordType::A, UrCategory::Correct, vec![]),
-            mk("d.com", "20.2.0.1", "P3", RecordType::A, UrCategory::Protective, vec![]),
-            mk("e.com", "20.2.0.1", "P3", RecordType::A, UrCategory::Unknown, vec![ip("45.0.0.1")]),
+            mk(
+                "a.com",
+                "20.0.0.1",
+                "P1",
+                RecordType::A,
+                UrCategory::Unknown,
+                vec![bad],
+            ),
+            mk(
+                "a.com",
+                "20.0.0.2",
+                "P1",
+                RecordType::A,
+                UrCategory::Unknown,
+                vec![bad],
+            ),
+            mk(
+                "b.com",
+                "20.1.0.1",
+                "P2",
+                RecordType::Txt,
+                UrCategory::Unknown,
+                vec![bad],
+            ),
+            mk(
+                "c.com",
+                "20.1.0.1",
+                "P2",
+                RecordType::A,
+                UrCategory::Correct,
+                vec![],
+            ),
+            mk(
+                "d.com",
+                "20.2.0.1",
+                "P3",
+                RecordType::A,
+                UrCategory::Protective,
+                vec![],
+            ),
+            mk(
+                "e.com",
+                "20.2.0.1",
+                "P3",
+                RecordType::A,
+                UrCategory::Unknown,
+                vec![ip("45.0.0.1")],
+            ),
         ];
         let mut agg = IntelAggregator::new();
         let mut feed = VendorFeed::new("V");

@@ -46,7 +46,10 @@ impl CollectedUr {
 
     /// The joined text of TXT records, one string per record.
     pub fn txt_strings(&self) -> Vec<String> {
-        self.records.iter().filter_map(|r| r.rdata.txt_joined()).collect()
+        self.records
+            .iter()
+            .filter_map(|r| r.rdata.txt_joined())
+            .collect()
     }
 }
 
@@ -166,7 +169,10 @@ impl TxtCategory {
 
     /// Is this an email-related category (SPF/DMARC/DKIM)?
     pub fn is_email_related(self) -> bool {
-        matches!(self, TxtCategory::Spf | TxtCategory::Dmarc | TxtCategory::Dkim)
+        matches!(
+            self,
+            TxtCategory::Spf | TxtCategory::Dmarc | TxtCategory::Dkim
+        )
     }
 }
 
@@ -249,7 +255,11 @@ mod tests {
 
     fn ur(rtype: RecordType, records: Vec<Record>) -> CollectedUr {
         CollectedUr {
-            key: UrKey { ns_ip: Ipv4Addr::new(20, 0, 0, 1), domain: n("x.com"), rtype },
+            key: UrKey {
+                ns_ip: Ipv4Addr::new(20, 0, 0, 1),
+                domain: n("x.com"),
+                rtype,
+            },
             records,
             aux_records: Vec::new(),
             provider: "P".into(),
@@ -260,11 +270,23 @@ mod tests {
 
     #[test]
     fn txt_classification() {
-        assert_eq!(TxtCategory::classify("v=spf1 ip4:1.2.3.4 -all"), TxtCategory::Spf);
+        assert_eq!(
+            TxtCategory::classify("v=spf1 ip4:1.2.3.4 -all"),
+            TxtCategory::Spf
+        );
         assert_eq!(TxtCategory::classify("V=SPF1 -all"), TxtCategory::Spf);
-        assert_eq!(TxtCategory::classify("v=DMARC1; p=none"), TxtCategory::Dmarc);
-        assert_eq!(TxtCategory::classify("v=DKIM1; k=rsa; p=MIG"), TxtCategory::Dkim);
-        assert_eq!(TxtCategory::classify("google-site-verification=abc"), TxtCategory::Verification);
+        assert_eq!(
+            TxtCategory::classify("v=DMARC1; p=none"),
+            TxtCategory::Dmarc
+        );
+        assert_eq!(
+            TxtCategory::classify("v=DKIM1; k=rsa; p=MIG"),
+            TxtCategory::Dkim
+        );
+        assert_eq!(
+            TxtCategory::classify("google-site-verification=abc"),
+            TxtCategory::Verification
+        );
         assert_eq!(TxtCategory::classify("hello world"), TxtCategory::Other);
         assert!(TxtCategory::Spf.is_email_related());
         assert!(!TxtCategory::Other.is_email_related());
@@ -291,12 +313,20 @@ mod tests {
         db.servers.insert(Ipv4Addr::new(20, 0, 0, 1), profile);
         let hit = ur(
             RecordType::A,
-            vec![Record::new(n("x.com"), 60, RData::A(Ipv4Addr::new(20, 0, 255, 1)))],
+            vec![Record::new(
+                n("x.com"),
+                60,
+                RData::A(Ipv4Addr::new(20, 0, 255, 1)),
+            )],
         );
         assert!(db.matches(&hit));
         let miss = ur(
             RecordType::A,
-            vec![Record::new(n("x.com"), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6)))],
+            vec![Record::new(
+                n("x.com"),
+                60,
+                RData::A(Ipv4Addr::new(6, 6, 6, 6)),
+            )],
         );
         assert!(!db.matches(&miss));
     }
@@ -305,16 +335,26 @@ mod tests {
     fn protective_matching_txt_prefix() {
         let mut db = ProtectiveDb::default();
         let mut profile = ProtectiveProfile::default();
-        profile.txts.insert("v=warning; domain not hosted on P; see status page".into());
+        profile
+            .txts
+            .insert("v=warning; domain not hosted on P; see status page".into());
         db.servers.insert(Ipv4Addr::new(20, 0, 0, 1), profile);
         let hit = ur(
             RecordType::Txt,
-            vec![Record::new(n("x.com"), 60, RData::txt_from_str("v=warning; domain not hosted on P; see status page"))],
+            vec![Record::new(
+                n("x.com"),
+                60,
+                RData::txt_from_str("v=warning; domain not hosted on P; see status page"),
+            )],
         );
         assert!(db.matches(&hit));
         let miss = ur(
             RecordType::Txt,
-            vec![Record::new(n("x.com"), 60, RData::txt_from_str("v=spf1 ip4:6.6.6.6 -all"))],
+            vec![Record::new(
+                n("x.com"),
+                60,
+                RData::txt_from_str("v=spf1 ip4:6.6.6.6 -all"),
+            )],
         );
         assert!(!db.matches(&miss));
     }
@@ -322,7 +362,14 @@ mod tests {
     #[test]
     fn unknown_server_never_protective() {
         let db = ProtectiveDb::default();
-        let u = ur(RecordType::A, vec![Record::new(n("x.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1)))]);
+        let u = ur(
+            RecordType::A,
+            vec![Record::new(
+                n("x.com"),
+                60,
+                RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+            )],
+        );
         assert!(!db.matches(&u));
     }
 

@@ -69,12 +69,22 @@ impl fmt::Display for WireError {
             WireError::PointerLimit => write!(f, "too many compression pointers in one name"),
             WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
             WireError::RdataLength { declared, consumed } => {
-                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+                write!(
+                    f,
+                    "rdata length mismatch: declared {declared}, consumed {consumed}"
+                )
             }
             WireError::BadName(s) => write!(f, "invalid domain name: {s}"),
             WireError::MessageTooLong(n) => write!(f, "encoded message of {n} bytes too long"),
-            WireError::CountMismatch { section, declared, parsed } => {
-                write!(f, "{section} count mismatch: declared {declared}, parsed {parsed}")
+            WireError::CountMismatch {
+                section,
+                declared,
+                parsed,
+            } => {
+                write!(
+                    f,
+                    "{section} count mismatch: declared {declared}, parsed {parsed}"
+                )
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
@@ -92,12 +102,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = WireError::Truncated { offset: 12, what: "header" };
+        let e = WireError::Truncated {
+            offset: 12,
+            what: "header",
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("header"));
         let e = WireError::BadPointer { at: 30, target: 40 };
         assert!(e.to_string().contains("30"));
-        let e = WireError::CountMismatch { section: "answer", declared: 2, parsed: 1 };
+        let e = WireError::CountMismatch {
+            section: "answer",
+            declared: 2,
+            parsed: 1,
+        };
         assert!(e.to_string().contains("answer"));
     }
 

@@ -126,7 +126,10 @@ impl Message {
     pub fn query(id: u16, question: Question) -> Message {
         Message {
             id,
-            flags: Flags { recursion_desired: true, ..Flags::default() },
+            flags: Flags {
+                recursion_desired: true,
+                ..Flags::default()
+            },
             questions: vec![question],
             answers: Vec::new(),
             authorities: Vec::new(),
@@ -194,7 +197,12 @@ impl Message {
         for q in &self.questions {
             q.encode(&mut buf, &mut offsets);
         }
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             r.encode(&mut buf, &mut offsets);
         }
         if buf.len() > MAX_MESSAGE_LEN {
@@ -207,7 +215,10 @@ impl Message {
     /// mismatches.
     pub fn decode(msg: &[u8]) -> WireResult<Message> {
         if msg.len() < 12 {
-            return Err(WireError::Truncated { offset: msg.len(), what: "header" });
+            return Err(WireError::Truncated {
+                offset: msg.len(),
+                what: "header",
+            });
         }
         let id = u16::from_be_bytes([msg[0], msg[1]]);
         let flags = Flags::from_u16(u16::from_be_bytes([msg[2], msg[3]]));
@@ -254,7 +265,14 @@ impl Message {
             return Err(WireError::TrailingBytes(msg.len() - pos));
         }
         let [(_, _, answers), (_, _, authorities), (_, _, additionals)] = sections;
-        Ok(Message { id, flags, questions, answers, authorities, additionals })
+        Ok(Message {
+            id,
+            flags,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
     }
 
     /// Wire-size-aware truncation: if the encoded message exceeds `limit`,
@@ -307,7 +325,12 @@ impl Message {
     /// traffic inspection in the IDS substrate).
     pub fn all_names(&self) -> Vec<&Name> {
         let mut v: Vec<&Name> = self.questions.iter().map(|q| &q.qname).collect();
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             v.push(&r.name);
         }
         v
@@ -320,7 +343,11 @@ impl fmt::Display for Message {
             f,
             ";; id {} {} {} qd={} an={} ns={} ar={}",
             self.id,
-            if self.flags.response { "response" } else { "query" },
+            if self.flags.response {
+                "response"
+            } else {
+                "query"
+            },
             self.flags.rcode,
             self.questions.len(),
             self.answers.len(),
@@ -357,9 +384,21 @@ mod tests {
         let q = Message::query(7, Question::new(name("www.example.com"), RecordType::A));
         let mut r = Message::response_to(&q, Rcode::NoError);
         r.flags.authoritative = true;
-        r.answers.push(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(203, 0, 113, 10))));
-        r.authorities.push(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
-        r.additionals.push(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(198, 51, 100, 1))));
+        r.answers.push(Record::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, 10)),
+        ));
+        r.authorities.push(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
+        r.additionals.push(Record::new(
+            name("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
         r
     }
 
@@ -395,7 +434,11 @@ mod tests {
         let q = Message::query(3, Question::new(owner.clone(), RecordType::A));
         let mut r = Message::response_to(&q, Rcode::NoError);
         for i in 0..10u8 {
-            r.answers.push(Record::new(owner.clone(), 60, RData::A(Ipv4Addr::new(10, 0, 0, i))));
+            r.answers.push(Record::new(
+                owner.clone(),
+                60,
+                RData::A(Ipv4Addr::new(10, 0, 0, i)),
+            ));
         }
         let wire = r.encode().unwrap();
         // each answer after the first writes a 2-byte pointer instead of the
@@ -427,7 +470,10 @@ mod tests {
         let q = Message::query(1, Question::new(name("t.example"), RecordType::A));
         let mut wire = q.encode().unwrap();
         wire.push(0);
-        assert!(matches!(Message::decode(&wire), Err(WireError::TrailingBytes(1))));
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(WireError::TrailingBytes(1))
+        ));
     }
 
     #[test]
@@ -438,7 +484,10 @@ mod tests {
         wire[7] = 1;
         assert!(matches!(
             Message::decode(&wire),
-            Err(WireError::CountMismatch { section: "answer", .. })
+            Err(WireError::CountMismatch {
+                section: "answer",
+                ..
+            })
         ));
     }
 

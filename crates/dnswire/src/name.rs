@@ -91,7 +91,9 @@ impl Name {
         if self.labels.is_empty() {
             None
         } else {
-            Some(Name { labels: self.labels[1..].to_vec() })
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
         }
     }
 
@@ -128,7 +130,9 @@ impl Name {
         if n > self.labels.len() {
             return None;
         }
-        Some(Name { labels: self.labels[self.labels.len() - n..].to_vec() })
+        Some(Name {
+            labels: self.labels[self.labels.len() - n..].to_vec(),
+        })
     }
 
     /// Encode at `buf`'s end without compression.
@@ -178,9 +182,10 @@ impl Name {
         let mut followed_pointer = false;
         let mut hops = 0usize;
         loop {
-            let len_byte = *msg
-                .get(cursor)
-                .ok_or(WireError::Truncated { offset: cursor, what: "name label length" })?;
+            let len_byte = *msg.get(cursor).ok_or(WireError::Truncated {
+                offset: cursor,
+                what: "name label length",
+            })?;
             match len_byte {
                 0 => {
                     if !followed_pointer {
@@ -193,7 +198,10 @@ impl Name {
                     let start = cursor + 1;
                     let end = start + l;
                     if end > msg.len() {
-                        return Err(WireError::Truncated { offset: start, what: "name label" });
+                        return Err(WireError::Truncated {
+                            offset: start,
+                            what: "name label",
+                        });
                     }
                     wire_len += 1 + l;
                     if wire_len > MAX_NAME_LEN {
@@ -309,7 +317,10 @@ impl FromStr for Name {
             if part.is_empty() {
                 return Err(WireError::BadName(format!("empty label in {s:?}")));
             }
-            if !part.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+            if !part
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
                 return Err(WireError::BadName(format!("bad character in {s:?}")));
             }
             labels.push(part.as_bytes());
@@ -349,7 +360,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["example.com", "www.example.com", "a.b.c.d.e", "xn--test.org"] {
+        for s in [
+            "example.com",
+            "www.example.com",
+            "a.b.c.d.e",
+            "xn--test.org",
+        ] {
             assert_eq!(n(s).to_string(), s);
         }
     }
@@ -465,21 +481,30 @@ mod tests {
         // pointer at offset 0 pointing at itself
         let msg = [0xC0, 0x00];
         let mut pos = 0;
-        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::BadPointer { .. })));
+        assert!(matches!(
+            Name::decode(&msg, &mut pos),
+            Err(WireError::BadPointer { .. })
+        ));
     }
 
     #[test]
     fn decode_rejects_truncated_label() {
         let msg = [5, b'a', b'b'];
         let mut pos = 0;
-        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Name::decode(&msg, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn decode_rejects_reserved_label_type() {
         let msg = [0x40, 0x00];
         let mut pos = 0;
-        assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::BadLabelType(_))));
+        assert!(matches!(
+            Name::decode(&msg, &mut pos),
+            Err(WireError::BadLabelType(_))
+        ));
     }
 
     #[test]
@@ -494,7 +519,10 @@ mod tests {
         // RFC 4034 example ordering (right-to-left label comparison)
         let mut names = vec![n("z.example.com"), n("a.example.com"), n("example.com")];
         names.sort();
-        assert_eq!(names, vec![n("example.com"), n("a.example.com"), n("z.example.com")]);
+        assert_eq!(
+            names,
+            vec![n("example.com"), n("a.example.com"), n("z.example.com")]
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl RData {
             RData::A(ip) => buf.extend_from_slice(&ip.octets()),
             RData::Aaaa(ip) => buf.extend_from_slice(&ip.octets()),
             RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode_compressed(buf, offsets),
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode_compressed(buf, offsets);
             }
@@ -128,7 +131,15 @@ impl RData {
                     buf.extend_from_slice(c);
                 }
             }
-            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
                 mname.encode_compressed(buf, offsets);
                 rname.encode_compressed(buf, offsets);
                 for v in [serial, refresh, retry, expire, minimum] {
@@ -150,11 +161,17 @@ impl RData {
         let end = start
             .checked_add(rdlength)
             .filter(|&e| e <= msg.len())
-            .ok_or(WireError::Truncated { offset: start, what: "rdata" })?;
+            .ok_or(WireError::Truncated {
+                offset: start,
+                what: "rdata",
+            })?;
         let out = match rtype {
             RecordType::A => {
                 if rdlength != 4 {
-                    return Err(WireError::RdataLength { declared: rdlength, consumed: 4 });
+                    return Err(WireError::RdataLength {
+                        declared: rdlength,
+                        consumed: 4,
+                    });
                 }
                 let o: [u8; 4] = msg[start..end].try_into().expect("checked length");
                 *pos = end;
@@ -162,7 +179,10 @@ impl RData {
             }
             RecordType::Aaaa => {
                 if rdlength != 16 {
-                    return Err(WireError::RdataLength { declared: rdlength, consumed: 16 });
+                    return Err(WireError::RdataLength {
+                        declared: rdlength,
+                        consumed: 16,
+                    });
                 }
                 let o: [u8; 16] = msg[start..end].try_into().expect("checked length");
                 *pos = end;
@@ -179,13 +199,19 @@ impl RData {
             }
             RecordType::Mx => {
                 if rdlength < 3 {
-                    return Err(WireError::RdataLength { declared: rdlength, consumed: 3 });
+                    return Err(WireError::RdataLength {
+                        declared: rdlength,
+                        consumed: 3,
+                    });
                 }
                 let preference = u16::from_be_bytes([msg[start], msg[start + 1]]);
                 *pos = start + 2;
                 let exchange = Name::decode(msg, pos)?;
                 check_consumed(start, *pos, rdlength)?;
-                RData::Mx { preference, exchange }
+                RData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             RecordType::Txt => {
                 let mut chunks = Vec::new();
@@ -194,7 +220,10 @@ impl RData {
                     let l = msg[cur] as usize;
                     cur += 1;
                     if cur + l > end {
-                        return Err(WireError::Truncated { offset: cur, what: "txt string" });
+                        return Err(WireError::Truncated {
+                            offset: cur,
+                            what: "txt string",
+                        });
                     }
                     chunks.push(msg[cur..cur + l].to_vec());
                     cur += l;
@@ -210,11 +239,19 @@ impl RData {
                 let mname = Name::decode(msg, pos)?;
                 let rname = Name::decode(msg, pos)?;
                 if *pos + 20 > msg.len() {
-                    return Err(WireError::Truncated { offset: *pos, what: "soa fields" });
+                    return Err(WireError::Truncated {
+                        offset: *pos,
+                        what: "soa fields",
+                    });
                 }
                 let mut words = [0u32; 5];
                 for w in words.iter_mut() {
-                    *w = u32::from_be_bytes([msg[*pos], msg[*pos + 1], msg[*pos + 2], msg[*pos + 3]]);
+                    *w = u32::from_be_bytes([
+                        msg[*pos],
+                        msg[*pos + 1],
+                        msg[*pos + 2],
+                        msg[*pos + 3],
+                    ]);
                     *pos += 4;
                 }
                 check_consumed(start, *pos, rdlength)?;
@@ -234,7 +271,10 @@ impl RData {
             }
             other => {
                 *pos = end;
-                RData::Unknown { rtype: other.code(), data: msg[start..end].to_vec() }
+                RData::Unknown {
+                    rtype: other.code(),
+                    data: msg[start..end].to_vec(),
+                }
             }
         };
         Ok(out)
@@ -243,7 +283,10 @@ impl RData {
 
 fn check_consumed(start: usize, pos: usize, rdlength: usize) -> WireResult<()> {
     if pos - start != rdlength {
-        Err(WireError::RdataLength { declared: rdlength, consumed: pos - start })
+        Err(WireError::RdataLength {
+            declared: rdlength,
+            consumed: pos - start,
+        })
     } else {
         Ok(())
     }
@@ -257,7 +300,10 @@ impl fmt::Display for RData {
             RData::Ns(n) => write!(f, "{n}"),
             RData::Cname(n) => write!(f, "{n}"),
             RData::Ptr(n) => write!(f, "{n}"),
-            RData::Mx { preference, exchange } => write!(f, "{preference} {exchange}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
             RData::Txt(chunks) => {
                 for (i, c) in chunks.iter().enumerate() {
                     if i > 0 {
@@ -267,8 +313,19 @@ impl fmt::Display for RData {
                 }
                 Ok(())
             }
-            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
-                write!(f, "{mname} {rname} {serial} {refresh} {retry} {expire} {minimum}")
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
+                write!(
+                    f,
+                    "{mname} {rname} {serial} {refresh} {retry} {expire} {minimum}"
+                )
             }
             RData::Opt(raw) => write!(f, "OPT({} bytes)", raw.len()),
             RData::Unknown { rtype, data } => write!(f, "TYPE{rtype}({} bytes)", data.len()),
@@ -315,7 +372,10 @@ mod tests {
 
     #[test]
     fn mx_roundtrip() {
-        let rd = RData::Mx { preference: 10, exchange: "mx.example.com".parse().unwrap() };
+        let rd = RData::Mx {
+            preference: 10,
+            exchange: "mx.example.com".parse().unwrap(),
+        };
         assert_eq!(roundtrip(&rd), rd);
     }
 
@@ -363,7 +423,10 @@ mod tests {
 
     #[test]
     fn unknown_type_preserved() {
-        let rd = RData::Unknown { rtype: 99, data: vec![1, 2, 3, 4] };
+        let rd = RData::Unknown {
+            rtype: 99,
+            data: vec![1, 2, 3, 4],
+        };
         assert_eq!(roundtrip(&rd), rd);
         assert_eq!(rd.record_type().code(), 99);
     }
@@ -404,7 +467,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(RData::A("1.2.3.4".parse().unwrap()).to_string(), "1.2.3.4");
         assert_eq!(RData::txt_from_str("hi").to_string(), "\"hi\"");
-        let mx = RData::Mx { preference: 5, exchange: "m.x".parse().unwrap() };
+        let mx = RData::Mx {
+            preference: 5,
+            exchange: "m.x".parse().unwrap(),
+        };
         assert_eq!(mx.to_string(), "5 m.x");
     }
 }

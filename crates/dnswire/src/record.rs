@@ -21,7 +21,11 @@ pub struct Question {
 impl Question {
     /// Convenience constructor for an `IN`-class question.
     pub fn new(qname: Name, qtype: RecordType) -> Self {
-        Question { qname, qtype, qclass: Class::In }
+        Question {
+            qname,
+            qtype,
+            qclass: Class::In,
+        }
     }
 
     /// Encode into `buf` using the shared compression map.
@@ -35,12 +39,19 @@ impl Question {
     pub fn decode(msg: &[u8], pos: &mut usize) -> WireResult<Question> {
         let qname = Name::decode(msg, pos)?;
         if *pos + 4 > msg.len() {
-            return Err(WireError::Truncated { offset: *pos, what: "question type/class" });
+            return Err(WireError::Truncated {
+                offset: *pos,
+                what: "question type/class",
+            });
         }
         let qtype = RecordType::from_code(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let qclass = Class::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
         *pos += 4;
-        Ok(Question { qname, qtype, qclass })
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
     }
 }
 
@@ -66,7 +77,12 @@ pub struct Record {
 impl Record {
     /// Convenience constructor for an `IN`-class record.
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
-        Record { name, class: Class::In, ttl, rdata }
+        Record {
+            name,
+            class: Class::In,
+            ttl,
+            rdata,
+        }
     }
 
     /// The record's type, derived from its data.
@@ -94,7 +110,10 @@ impl Record {
     pub fn decode(msg: &[u8], pos: &mut usize) -> WireResult<Record> {
         let name = Name::decode(msg, pos)?;
         if *pos + 10 > msg.len() {
-            return Err(WireError::Truncated { offset: *pos, what: "record fixed header" });
+            return Err(WireError::Truncated {
+                offset: *pos,
+                what: "record fixed header",
+            });
         }
         let rtype = RecordType::from_code(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let class = Class::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
@@ -102,13 +121,26 @@ impl Record {
         let rdlength = u16::from_be_bytes([msg[*pos + 8], msg[*pos + 9]]) as usize;
         *pos += 10;
         let rdata = RData::decode(msg, pos, rtype, rdlength)?;
-        Ok(Record { name, class, ttl, rdata })
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
     }
 }
 
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {} {}", self.name, self.ttl, self.class, self.rtype(), self.rdata)
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl,
+            self.class,
+            self.rtype(),
+            self.rdata
+        )
     }
 }
 
@@ -133,7 +165,11 @@ mod tests {
 
     #[test]
     fn record_roundtrip_with_rdlength_patch() {
-        let r = Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(203, 0, 113, 9)));
+        let r = Record::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        );
         let mut buf = Vec::new();
         r.encode(&mut buf, &mut HashMap::new());
         let mut pos = 0;

@@ -21,18 +21,31 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4)
             .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
-                mname,
-                rname,
-                serial,
-                refresh,
-                retry,
-                expire,
-                minimum
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                }
             }),
         (64u16..=2000, proptest::collection::vec(any::<u8>(), 0..32))
             .prop_map(|(rtype, data)| RData::Unknown { rtype, data }),
@@ -65,21 +78,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_record(), 0..3),
         proptest::collection::vec(arb_record(), 0..3),
     )
-        .prop_map(|(id, response, qs, answers, authorities, additionals)| Message {
-            id,
-            flags: Flags {
-                response,
-                opcode: Opcode::Query,
-                authoritative: response,
-                recursion_desired: true,
-                rcode: Rcode::NoError,
-                ..Flags::default()
+        .prop_map(
+            |(id, response, qs, answers, authorities, additionals)| Message {
+                id,
+                flags: Flags {
+                    response,
+                    opcode: Opcode::Query,
+                    authoritative: response,
+                    recursion_desired: true,
+                    rcode: Rcode::NoError,
+                    ..Flags::default()
+                },
+                questions: qs.into_iter().map(|(n, t)| Question::new(n, t)).collect(),
+                answers,
+                authorities,
+                additionals,
             },
-            questions: qs.into_iter().map(|(n, t)| Question::new(n, t)).collect(),
-            answers,
-            authorities,
-            additionals,
-        })
+        )
 }
 
 proptest! {

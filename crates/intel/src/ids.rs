@@ -395,7 +395,9 @@ mod tests {
     fn port_scoped_rule() {
         let ids = IdsEngine::standard_ruleset();
         // SMTP covert marker on the wrong port: no alert
-        assert!(ids.scan(&[flow(b"EHLO exfil AAAA", 80, Proto::Tcp)]).is_empty());
+        assert!(ids
+            .scan(&[flow(b"EHLO exfil AAAA", 80, Proto::Tcp)])
+            .is_empty());
         let alerts = ids.scan(&[flow(b"EHLO exfil AAAA", 25, Proto::Tcp)]);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].category, AlertCategory::CncActivity);
@@ -421,7 +423,13 @@ mod tests {
     #[test]
     fn dst_ip_scoped_rule() {
         let mut ids = IdsEngine::new();
-        let mut rule = Rule::content_rule(1, "feed hit", AlertCategory::BadTraffic, Severity::Medium, b"");
+        let mut rule = Rule::content_rule(
+            1,
+            "feed hit",
+            AlertCategory::BadTraffic,
+            Severity::Medium,
+            b"",
+        );
         rule.content = None;
         rule.dst_ips = Some([Ipv4Addr::new(66, 66, 66, 1)].into_iter().collect());
         ids.add_rule(rule);
@@ -468,12 +476,13 @@ mod tests {
     fn threshold_rule_ignores_slow_or_narrow_traffic() {
         let ids = IdsEngine::standard_ruleset();
         // same port repeatedly: no sweep
-        let same_port: Vec<FlowRecord> =
-            (0..5).map(|i| {
+        let same_port: Vec<FlowRecord> = (0..5)
+            .map(|i| {
                 let mut f = flow(b"x", 80, Proto::Tcp);
                 f.at = SimTime(i as u64);
                 f
-            }).collect();
+            })
+            .collect();
         assert!(ids.scan(&same_port).iter().all(|a| a.sid != 2_000_545));
         // three ports but spread over ten minutes: no sweep
         let slow: Vec<FlowRecord> = (0..3u16)

@@ -26,9 +26,9 @@ mod sandbox;
 mod vendors;
 
 pub use ids::{Alert, AlertCategory, IdsEngine, Rule, Severity};
+pub use payloads::{PayloadSignature, PayloadSignatureDb};
 pub use sandbox::{
     extract_ipv4s, question, C2ServerNode, C2Target, MalwareOp, MalwareSample, Sandbox,
     SandboxReport,
 };
-pub use payloads::{PayloadSignature, PayloadSignatureDb};
 pub use vendors::{IntelAggregator, ThreatTag, VendorFeed};

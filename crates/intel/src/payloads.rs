@@ -20,7 +20,12 @@ pub struct PayloadSignature {
 
 impl fmt::Display for PayloadSignature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.family, String::from_utf8_lossy(&self.pattern))
+        write!(
+            f,
+            "{}:{}",
+            self.family,
+            String::from_utf8_lossy(&self.pattern)
+        )
     }
 }
 
@@ -38,7 +43,10 @@ impl PayloadSignatureDb {
 
     /// Add a signature.
     pub fn add(&mut self, family: &str, pattern: &[u8]) {
-        self.sigs.push(PayloadSignature { family: family.to_string(), pattern: pattern.to_vec() });
+        self.sigs.push(PayloadSignature {
+            family: family.to_string(),
+            pattern: pattern.to_vec(),
+        });
     }
 
     /// Number of signatures.
@@ -55,7 +63,9 @@ impl PayloadSignatureDb {
     pub fn match_payload(&self, payload: &[u8]) -> Option<&PayloadSignature> {
         self.sigs.iter().find(|s| {
             !s.pattern.is_empty()
-                && payload.windows(s.pattern.len()).any(|w| w == s.pattern.as_slice())
+                && payload
+                    .windows(s.pattern.len())
+                    .any(|w| w == s.pattern.as_slice())
         })
     }
 
@@ -87,7 +97,10 @@ mod tests {
     #[test]
     fn matches_embedded_patterns() {
         let db = PayloadSignatureDb::standard();
-        assert_eq!(db.match_text("v=1 cmd64=ZXhlYyBscw== t=9").unwrap().family, "GenericTrojan");
+        assert_eq!(
+            db.match_text("v=1 cmd64=ZXhlYyBscw== t=9").unwrap().family,
+            "GenericTrojan"
+        );
         assert_eq!(db.match_text("dkt;AAAA////").unwrap().family, "Dark.IoT");
         assert!(db.match_text("v=spf1 ip4:1.2.3.4 -all").is_none());
         assert!(db.match_text("google-site-verification=xyz").is_none());

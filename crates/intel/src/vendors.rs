@@ -52,7 +52,10 @@ pub struct VendorFeed {
 impl VendorFeed {
     /// An empty feed for a named vendor.
     pub fn new(name: &str) -> Self {
-        VendorFeed { name: name.to_string(), flagged: HashMap::new() }
+        VendorFeed {
+            name: name.to_string(),
+            flagged: HashMap::new(),
+        }
     }
 
     /// Flag an IP with a tag (idempotent; tags accumulate).
@@ -182,10 +185,16 @@ mod tests {
         for name in ["VT-A", "VT-B", "VT-C", "VT-D"] {
             agg.add_vendor(VendorFeed::new(name));
         }
-        agg.vendor_mut("VT-A").unwrap().flag(ip(1), ThreatTag::Trojan);
+        agg.vendor_mut("VT-A")
+            .unwrap()
+            .flag(ip(1), ThreatTag::Trojan);
         agg.vendor_mut("VT-B").unwrap().flag(ip(1), ThreatTag::CnC);
-        agg.vendor_mut("VT-C").unwrap().flag(ip(1), ThreatTag::Trojan);
-        agg.vendor_mut("VT-A").unwrap().flag(ip(2), ThreatTag::Scanner);
+        agg.vendor_mut("VT-C")
+            .unwrap()
+            .flag(ip(1), ThreatTag::Trojan);
+        agg.vendor_mut("VT-A")
+            .unwrap()
+            .flag(ip(2), ThreatTag::Scanner);
         agg
     }
 

@@ -30,7 +30,10 @@ impl Cidr {
     /// Panics if `len > 32`.
     pub fn new(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
-        Cidr { masked: u32::from(addr) & Self::mask(len), len }
+        Cidr {
+            masked: u32::from(addr) & Self::mask(len),
+            len,
+        }
     }
 
     fn mask(len: u8) -> u32 {
@@ -71,7 +74,10 @@ impl Cidr {
     /// Supernet key used for longest-prefix tables: this prefix re-masked
     /// to `len` bits.
     pub fn truncate(&self, len: u8) -> Cidr {
-        Cidr { masked: self.masked & Self::mask(len.min(self.len)), len: len.min(self.len) }
+        Cidr {
+            masked: self.masked & Self::mask(len.min(self.len)),
+            len: len.min(self.len),
+        }
     }
 }
 

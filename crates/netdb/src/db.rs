@@ -37,7 +37,10 @@ impl GeoInfo {
     pub fn new(country: &str, city: u16) -> Self {
         let b = country.as_bytes();
         assert!(b.len() == 2, "country code must be two chars: {country:?}");
-        GeoInfo { country: [b[0], b[1]], city }
+        GeoInfo {
+            country: [b[0], b[1]],
+            city,
+        }
     }
 
     /// The country code as a `&str`.
@@ -168,7 +171,11 @@ impl HttpProfile {
         HttpProfile {
             status: 200,
             title: format!("{provider}: domain not configured"),
-            keywords: vec!["warning".into(), "not configured".into(), provider.to_lowercase()],
+            keywords: vec![
+                "warning".into(),
+                "not configured".into(),
+                provider.to_lowercase(),
+            ],
             kind: PageKind::ProviderWarning,
         }
     }
@@ -213,10 +220,13 @@ impl NetDb {
     /// Route `prefix` to an AS. Later insertions overwrite.
     pub fn add_prefix(&mut self, prefix: Cidr, asn: u32, org: &str) {
         let len = prefix.len();
-        self.prefixes
-            .entry(len)
-            .or_default()
-            .insert(prefix, AsInfo { asn, org: org.to_string() });
+        self.prefixes.entry(len).or_default().insert(
+            prefix,
+            AsInfo {
+                asn,
+                org: org.to_string(),
+            },
+        );
         if let Err(pos) = self.present_lens.binary_search_by(|l| len.cmp(l)) {
             self.present_lens.insert(pos, len);
         }
@@ -228,7 +238,10 @@ impl NetDb {
     pub fn asn_of(&self, ip: Ipv4Addr) -> Option<&AsInfo> {
         let host = Cidr::new(ip, 32);
         for &len in &self.present_lens {
-            let bucket = self.prefixes.get(&len).expect("present length has a bucket");
+            let bucket = self
+                .prefixes
+                .get(&len)
+                .expect("present length has a bucket");
             if let Some(info) = bucket.get(&host.truncate(len)) {
                 return Some(info);
             }
@@ -330,7 +343,24 @@ impl AttrIndex {
 
     /// Build from already-resolved pairs (the parallel build path).
     pub fn from_resolved(pairs: impl IntoIterator<Item = (Ipv4Addr, IpAttrs)>) -> Self {
-        AttrIndex { map: pairs.into_iter().collect() }
+        AttrIndex {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Absorb already-resolved pairs into an existing index (the streaming
+    /// build path: each arriving batch contributes its distinct new
+    /// addresses). First resolution wins; duplicates are ignored, which is
+    /// sound because resolution is a pure function of the database.
+    pub fn absorb(&mut self, pairs: impl IntoIterator<Item = (Ipv4Addr, IpAttrs)>) {
+        for (ip, attrs) in pairs {
+            self.map.entry(ip).or_insert(attrs);
+        }
+    }
+
+    /// Whether `ip` is already resolved in this index.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.map.contains_key(&ip)
     }
 
     /// The attributes of `ip`, when it was part of the build set.
@@ -341,7 +371,10 @@ impl AttrIndex {
     /// Attributes of `ip`, falling back to a direct resolve when the build
     /// set missed it (keeps single-UR entry points correct).
     pub fn get_or_resolve(&self, db: &NetDb, ip: Ipv4Addr) -> IpAttrs {
-        self.map.get(&ip).copied().unwrap_or_else(|| Self::resolve(db, ip))
+        self.map
+            .get(&ip)
+            .copied()
+            .unwrap_or_else(|| Self::resolve(db, ip))
     }
 
     /// Number of distinct addresses resolved.
@@ -447,7 +480,15 @@ mod tests {
         assert_eq!(got.http_kind, None);
         assert_eq!(idx.get(b).unwrap().http_kind, Some(PageKind::Parking));
         let missing = idx.get(ip("8.8.8.8")).unwrap();
-        assert_eq!(*missing, IpAttrs { asn: None, geo: None, cert_fp: None, http_kind: None });
+        assert_eq!(
+            *missing,
+            IpAttrs {
+                asn: None,
+                geo: None,
+                cert_fp: None,
+                http_kind: None
+            }
+        );
         // fall-back resolve for an address outside the build set
         let c = ip("203.0.113.7");
         assert_eq!(idx.get_or_resolve(&db, c).asn, Some(64500));
@@ -455,7 +496,10 @@ mod tests {
 
     #[test]
     fn http_profiles_have_expected_keywords() {
-        assert!(HttpProfile::parking().keywords.iter().any(|k| k == "parked"));
+        assert!(HttpProfile::parking()
+            .keywords
+            .iter()
+            .any(|k| k == "parked"));
         assert_eq!(HttpProfile::redirect("https://x").status, 302);
         let w = HttpProfile::provider_warning("CloudEx");
         assert_eq!(w.kind, PageKind::ProviderWarning);

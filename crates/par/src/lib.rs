@@ -21,6 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod stream;
+
+pub use stream::{ordered_pipeline, BatchChannel, Splicer};
+
 use std::num::NonZeroUsize;
 
 /// Environment variable overriding the automatic thread count.
@@ -44,7 +48,9 @@ impl Parallelism {
                 }
             }
         }
-        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
         Parallelism::fixed(n)
     }
 
@@ -158,7 +164,10 @@ mod tests {
     #[test]
     fn par_map_equals_sequential_for_every_thread_count() {
         let items: Vec<u64> = (0..997).collect();
-        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31).rotate_left(7)).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
         for workers in [1, 2, 3, 4, 7, 16, 64] {
             let got = par_map(&items, Parallelism::fixed(workers), |x| {
                 x.wrapping_mul(31).rotate_left(7)

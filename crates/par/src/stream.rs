@@ -1,0 +1,420 @@
+//! Deterministic stage-overlapped streaming: a bounded, sequence-numbered
+//! batch channel plus an ordered pipeline executor.
+//!
+//! The URHunter collection stage drives the simulated network on the main
+//! thread (its nodes are `!Sync` by design) while suspicious-record
+//! determination is CPU-bound and embarrassingly parallel. The primitives
+//! here let those two stages overlap without giving up the crate's core
+//! invariant — output bit-identical to the sequential path:
+//!
+//! * [`BatchChannel`] — a bounded FIFO of `(sequence, batch)` pairs with
+//!   blocking send (backpressure on the producer) and blocking receive.
+//!   Closing wakes every waiter; sends after close are dropped, so a
+//!   failing consumer never deadlocks the producer.
+//! * [`Splicer`] — a reorder buffer that accepts `(sequence, value)` pairs
+//!   in any arrival order and releases values strictly in sequence order.
+//! * [`ordered_pipeline`] — the executor: the *calling thread* produces
+//!   batches through a sink, `workers` threads transform them, and a
+//!   collector thread splices results back into sequence order and folds
+//!   them. For every batch size, capacity and worker count the fold sees
+//!   exactly the sequence `produce` emitted, transformed — the same
+//!   invariant as [`crate::par_map`], extended to a producer that is busy
+//!   making the next batch while earlier ones are being consumed.
+
+use crate::Parallelism;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A bounded FIFO of sequence-numbered batches (single producer in the
+/// pipeline use, but safe for any number of senders/receivers).
+///
+/// Capacity counts batches, not items; a full channel blocks `send` until
+/// a receiver drains a slot, which is the backpressure that keeps the
+/// streaming pipeline's memory bounded.
+#[derive(Debug)]
+pub struct BatchChannel<T> {
+    state: Mutex<ChannelState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct ChannelState<T> {
+    queue: VecDeque<(u64, T)>,
+    closed: bool,
+}
+
+impl<T> BatchChannel<T> {
+    /// A channel holding at most `capacity` batches (clamped up to 1).
+    pub fn bounded(capacity: usize) -> Self {
+        BatchChannel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `(seq, batch)`, blocking while the channel is full.
+    ///
+    /// Returns `false` when the channel was closed (the batch is dropped)
+    /// — senders treat that as "the consumer is gone" and wind down.
+    pub fn send(&self, seq: u64, batch: T) -> bool {
+        let mut st = self.state.lock().expect("channel lock");
+        while st.queue.len() >= self.capacity && !st.closed {
+            st = self.not_full.wait(st).expect("channel lock");
+        }
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back((seq, batch));
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest batch, blocking while the channel is empty and
+    /// open. `None` means closed *and* drained: no batch will ever follow.
+    pub fn recv(&self) -> Option<(u64, T)> {
+        let mut st = self.state.lock().expect("channel lock");
+        loop {
+            if let Some(pair) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(pair);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("channel lock");
+        }
+    }
+
+    /// Close the channel and wake every blocked sender and receiver.
+    /// Already-queued batches remain receivable; further sends are dropped.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("channel lock");
+        st.closed = true;
+        drop(st);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Number of batches currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether no batch is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Closes a [`BatchChannel`] when dropped, so a panicking stage can never
+/// leave the stages up- or downstream of it blocked forever.
+struct CloseOnDrop<'a, T>(&'a BatchChannel<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// A reorder buffer: accepts `(sequence, value)` in any arrival order,
+/// releases values strictly in sequence order starting from 0.
+#[derive(Debug)]
+pub struct Splicer<U> {
+    next: u64,
+    pending: BTreeMap<u64, U>,
+}
+
+impl<U> Default for Splicer<U> {
+    fn default() -> Self {
+        Splicer::new()
+    }
+}
+
+impl<U> Splicer<U> {
+    /// An empty splicer expecting sequence 0 first.
+    pub fn new() -> Self {
+        Splicer {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer one out-of-order arrival. Sequences must be unique; a
+    /// duplicate is a caller bug and panics.
+    pub fn push(&mut self, seq: u64, value: U) {
+        assert!(seq >= self.next, "sequence {seq} already released");
+        let clash = self.pending.insert(seq, value);
+        assert!(clash.is_none(), "duplicate sequence {seq}");
+    }
+
+    /// The next in-sequence value, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<U> {
+        let value = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(value)
+    }
+
+    /// How many values are buffered waiting for an earlier sequence.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The sequence number the splicer will release next.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
+/// Run a producer, a worker pool, and an in-order folding consumer as one
+/// stage-overlapped pipeline, returning the fold accumulator.
+///
+/// * `produce` runs on the **calling thread** (the URHunter producer owns
+///   the `!Sync` simulated network) and emits batches through the sink it
+///   is handed; each batch is stamped with the next sequence number.
+/// * `work` runs on `parallelism` worker threads, each batch exactly once.
+/// * `fold` runs on a dedicated collector thread and sees the results in
+///   **production order** — a [`Splicer`] holds back out-of-order
+///   completions — so the accumulator is bit-identical to
+///   `produce → work → fold` run sequentially, for every worker count and
+///   channel capacity.
+///
+/// `capacity` bounds both the batch queue and the un-spliced result set,
+/// so peak memory is `O(capacity + workers)` batches regardless of input
+/// length. A panic in any stage closes the channels (no deadlock) and
+/// propagates to the caller when the thread scope joins.
+pub fn ordered_pipeline<T, U, A, P, W, F>(
+    parallelism: Parallelism,
+    capacity: usize,
+    produce: P,
+    work: W,
+    init: A,
+    fold: F,
+) -> A
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    P: FnOnce(&mut dyn FnMut(T)),
+    W: Fn(T) -> U + Sync,
+    F: FnMut(&mut A, U) + Send,
+{
+    let workers = parallelism.get();
+    let input: BatchChannel<T> = BatchChannel::bounded(capacity);
+    let results: BatchChannel<U> = BatchChannel::bounded(capacity.max(workers));
+    let live_workers = AtomicUsize::new(workers);
+
+    let mut acc = init;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let input = &input;
+            let results = &results;
+            let live_workers = &live_workers;
+            let work = &work;
+            scope.spawn(move || {
+                // The last worker out closes both channels — even on
+                // panic — so neither the collector (waiting on results)
+                // nor the producer (blocked on a full input queue) can
+                // ever wait on a pool that no longer exists.
+                struct LastOut<'a, T, U> {
+                    live: &'a AtomicUsize,
+                    input: &'a BatchChannel<T>,
+                    results: &'a BatchChannel<U>,
+                }
+                impl<T, U> Drop for LastOut<'_, T, U> {
+                    fn drop(&mut self) {
+                        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            self.input.close();
+                            self.results.close();
+                        }
+                    }
+                }
+                let _last_out = LastOut {
+                    live: live_workers,
+                    input,
+                    results,
+                };
+                while let Some((seq, batch)) = input.recv() {
+                    if !results.send(seq, work(batch)) {
+                        break; // collector gone; drain no further
+                    }
+                }
+            });
+        }
+
+        let collector = {
+            let results = &results;
+            let input = &input;
+            let acc = &mut acc;
+            let mut fold = fold;
+            scope.spawn(move || {
+                // A collector panic must unblock the producer too.
+                let _close_input = CloseOnDrop(input);
+                let mut splicer = Splicer::new();
+                while let Some((seq, value)) = results.recv() {
+                    splicer.push(seq, value);
+                    while let Some(ready) = splicer.pop_ready() {
+                        fold(acc, ready);
+                    }
+                }
+                assert_eq!(splicer.pending_len(), 0, "result sequence has gaps");
+            })
+        };
+
+        {
+            // Producer runs here, on the calling thread; closing on drop
+            // lets the workers drain and exit even if `produce` panics.
+            let _close_input = CloseOnDrop(&input);
+            let mut seq = 0u64;
+            let mut sink = |batch: T| {
+                input.send(seq, batch);
+                seq += 1;
+            };
+            produce(&mut sink);
+        }
+        // Propagate a collector panic promptly (worker panics surface when
+        // the scope joins them).
+        collector.join().expect("collector thread panicked");
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splicer_reorders_any_arrival_order() {
+        let mut sp = Splicer::new();
+        sp.push(2, "c");
+        sp.push(0, "a");
+        assert_eq!(sp.pop_ready(), Some("a"));
+        assert_eq!(sp.pop_ready(), None);
+        sp.push(1, "b");
+        assert_eq!(sp.pop_ready(), Some("b"));
+        assert_eq!(sp.pop_ready(), Some("c"));
+        assert_eq!(sp.pop_ready(), None);
+        assert_eq!(sp.next_seq(), 3);
+        assert_eq!(sp.pending_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sequence")]
+    fn splicer_rejects_duplicate_sequences() {
+        let mut sp = Splicer::new();
+        sp.push(1, ());
+        sp.push(1, ());
+    }
+
+    #[test]
+    fn channel_delivers_fifo_and_drains_after_close() {
+        let ch: BatchChannel<u32> = BatchChannel::bounded(4);
+        assert!(ch.send(0, 10));
+        assert!(ch.send(1, 20));
+        ch.close();
+        assert!(!ch.send(2, 30), "send after close is dropped");
+        assert_eq!(ch.recv(), Some((0, 10)));
+        assert_eq!(ch.recv(), Some((1, 20)));
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn channel_blocks_producer_at_capacity() {
+        let ch: BatchChannel<u32> = BatchChannel::bounded(1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(ch.send(0, 1));
+                assert!(ch.send(1, 2)); // blocks until the recv below
+                ch.close();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(ch.recv(), Some((0, 1)));
+            assert_eq!(ch.recv(), Some((1, 2)));
+            assert_eq!(ch.recv(), None);
+        });
+    }
+
+    fn run_pipeline(items: usize, batch: usize, workers: usize, capacity: usize) -> Vec<u64> {
+        ordered_pipeline(
+            Parallelism::fixed(workers),
+            capacity,
+            |sink| {
+                let mut pending = Vec::new();
+                for i in 0..items as u64 {
+                    pending.push(i);
+                    if pending.len() >= batch {
+                        sink(std::mem::take(&mut pending));
+                    }
+                }
+                if !pending.is_empty() {
+                    sink(pending);
+                }
+            },
+            |batch: Vec<u64>| {
+                batch
+                    .iter()
+                    .map(|x| x.wrapping_mul(31).rotate_left(7))
+                    .collect::<Vec<u64>>()
+            },
+            Vec::new(),
+            |acc: &mut Vec<u64>, out| acc.extend(out),
+        )
+    }
+
+    #[test]
+    fn pipeline_equals_sequential_for_every_shape() {
+        let expect: Vec<u64> = (0..197u64)
+            .map(|x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            for batch in [1, 3, 64, 1000] {
+                for capacity in [1, 2, 8] {
+                    let got = run_pipeline(197, batch, workers, capacity);
+                    assert_eq!(
+                        got, expect,
+                        "workers={workers} batch={batch} cap={capacity}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_input() {
+        let got = run_pipeline(0, 7, 4, 2);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ordered_pipeline(
+                Parallelism::fixed(3),
+                2,
+                |sink| {
+                    for i in 0..50u64 {
+                        sink(vec![i]);
+                    }
+                },
+                |batch: Vec<u64>| {
+                    if batch[0] == 13 {
+                        panic!("unlucky batch");
+                    }
+                    batch
+                },
+                0usize,
+                |acc: &mut usize, out: Vec<u64>| *acc += out.len(),
+            )
+        }));
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+}

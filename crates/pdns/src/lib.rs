@@ -58,16 +58,26 @@ impl PassiveDns {
     /// # Panics
     /// Panics if `first_seen > last_seen` — the generator produced an
     /// impossible interval.
-    pub fn observe(&mut self, domain: Name, rtype: RecordType, rdata: RData, first_seen: Day, last_seen: Day) {
+    pub fn observe(
+        &mut self,
+        domain: Name,
+        rtype: RecordType,
+        rdata: RData,
+        first_seen: Day,
+        last_seen: Day,
+    ) {
         assert!(first_seen <= last_seen, "inverted observation interval");
         self.total += 1;
-        self.by_domain.entry(domain.clone()).or_default().push(HistoricalRecord {
-            domain,
-            rtype,
-            rdata,
-            first_seen,
-            last_seen,
-        });
+        self.by_domain
+            .entry(domain.clone())
+            .or_default()
+            .push(HistoricalRecord {
+                domain,
+                rtype,
+                rdata,
+                first_seen,
+                last_seen,
+            });
     }
 
     /// All observations for `domain` whose lifetime intersects
@@ -86,7 +96,14 @@ impl PassiveDns {
 
     /// Appendix-B condition 5: was `rdata` ever observed for `domain`
     /// (of the same type) within the window?
-    pub fn contains(&self, domain: &Name, rtype: RecordType, rdata: &RData, today: Day, window: u32) -> bool {
+    pub fn contains(
+        &self,
+        domain: &Name,
+        rtype: RecordType,
+        rdata: &RData,
+        today: Day,
+        window: u32,
+    ) -> bool {
         self.history(domain, today, window)
             .iter()
             .any(|r| r.rtype == rtype && &r.rdata == rdata)
@@ -117,7 +134,9 @@ impl PassiveDns {
             .iter()
             .filter(|(name, recs)| {
                 name.is_strict_subdomain_of(apex)
-                    && recs.iter().any(|r| r.last_seen >= horizon && r.first_seen <= today)
+                    && recs
+                        .iter()
+                        .any(|r| r.last_seen >= horizon && r.first_seen <= today)
             })
             .map(|(name, _)| name.clone())
             .collect();
@@ -143,9 +162,27 @@ mod tests {
     fn membership_within_window() {
         let mut p = PassiveDns::new();
         p.observe(n("example.com"), RecordType::A, a([1, 2, 3, 4]), 100, 500);
-        assert!(p.contains(&n("example.com"), RecordType::A, &a([1, 2, 3, 4]), 600, SIX_YEARS_DAYS));
-        assert!(!p.contains(&n("example.com"), RecordType::A, &a([9, 9, 9, 9]), 600, SIX_YEARS_DAYS));
-        assert!(!p.contains(&n("other.com"), RecordType::A, &a([1, 2, 3, 4]), 600, SIX_YEARS_DAYS));
+        assert!(p.contains(
+            &n("example.com"),
+            RecordType::A,
+            &a([1, 2, 3, 4]),
+            600,
+            SIX_YEARS_DAYS
+        ));
+        assert!(!p.contains(
+            &n("example.com"),
+            RecordType::A,
+            &a([9, 9, 9, 9]),
+            600,
+            SIX_YEARS_DAYS
+        ));
+        assert!(!p.contains(
+            &n("other.com"),
+            RecordType::A,
+            &a([1, 2, 3, 4]),
+            600,
+            SIX_YEARS_DAYS
+        ));
     }
 
     #[test]
@@ -153,7 +190,13 @@ mod tests {
         let mut p = PassiveDns::new();
         p.observe(n("old.com"), RecordType::A, a([1, 1, 1, 1]), 0, 10);
         // today = 3000, window = 2190 -> horizon = 810; record died at day 10
-        assert!(!p.contains(&n("old.com"), RecordType::A, &a([1, 1, 1, 1]), 3000, SIX_YEARS_DAYS));
+        assert!(!p.contains(
+            &n("old.com"),
+            RecordType::A,
+            &a([1, 1, 1, 1]),
+            3000,
+            SIX_YEARS_DAYS
+        ));
         // shorter lookback from an earlier "today" still sees it
         assert!(p.contains(&n("old.com"), RecordType::A, &a([1, 1, 1, 1]), 100, 2000));
     }
@@ -162,14 +205,26 @@ mod tests {
     fn future_records_are_invisible() {
         let mut p = PassiveDns::new();
         p.observe(n("new.com"), RecordType::A, a([2, 2, 2, 2]), 500, 600);
-        assert!(!p.contains(&n("new.com"), RecordType::A, &a([2, 2, 2, 2]), 400, SIX_YEARS_DAYS));
+        assert!(!p.contains(
+            &n("new.com"),
+            RecordType::A,
+            &a([2, 2, 2, 2]),
+            400,
+            SIX_YEARS_DAYS
+        ));
     }
 
     #[test]
     fn type_must_match() {
         let mut p = PassiveDns::new();
         p.observe(n("x.com"), RecordType::A, a([3, 3, 3, 3]), 100, 200);
-        assert!(!p.contains(&n("x.com"), RecordType::Txt, &a([3, 3, 3, 3]), 200, SIX_YEARS_DAYS));
+        assert!(!p.contains(
+            &n("x.com"),
+            RecordType::Txt,
+            &a([3, 3, 3, 3]),
+            200,
+            SIX_YEARS_DAYS
+        ));
     }
 
     #[test]
@@ -177,7 +232,13 @@ mod tests {
         let mut p = PassiveDns::new();
         p.observe(n("d.com"), RecordType::A, a([1, 0, 0, 1]), 0, 100);
         p.observe(n("d.com"), RecordType::A, a([1, 0, 0, 2]), 200, 300);
-        p.observe(n("d.com"), RecordType::Txt, RData::txt_from_str("v=spf1"), 250, 400);
+        p.observe(
+            n("d.com"),
+            RecordType::Txt,
+            RData::txt_from_str("v=spf1"),
+            250,
+            400,
+        );
         let h = p.history(&n("d.com"), 300, 150);
         assert_eq!(h.len(), 2);
         assert_eq!(p.len(), 3);
@@ -188,13 +249,32 @@ mod tests {
     fn subdomain_recovery() {
         let mut p = PassiveDns::new();
         p.observe(n("example.com"), RecordType::A, a([1, 1, 1, 1]), 100, 2_400);
-        p.observe(n("mail.example.com"), RecordType::A, a([1, 1, 1, 2]), 100, 2_400);
-        p.observe(n("www.example.com"), RecordType::A, a([1, 1, 1, 3]), 100, 2_400);
+        p.observe(
+            n("mail.example.com"),
+            RecordType::A,
+            a([1, 1, 1, 2]),
+            100,
+            2_400,
+        );
+        p.observe(
+            n("www.example.com"),
+            RecordType::A,
+            a([1, 1, 1, 3]),
+            100,
+            2_400,
+        );
         p.observe(n("old.example.com"), RecordType::A, a([1, 1, 1, 4]), 0, 10);
         p.observe(n("other.net"), RecordType::A, a([2, 2, 2, 2]), 100, 2_400);
         // full lookback sees all three subdomains
         let subs = p.subdomains_of(&n("example.com"), 2_500, 2_500);
-        assert_eq!(subs, vec![n("mail.example.com"), n("old.example.com"), n("www.example.com")]);
+        assert_eq!(
+            subs,
+            vec![
+                n("mail.example.com"),
+                n("old.example.com"),
+                n("www.example.com")
+            ]
+        );
         // the six-year window (horizon day 310) drops the stale one
         let recent = p.subdomains_of(&n("example.com"), 2_500, SIX_YEARS_DAYS);
         assert_eq!(recent.len(), 2);

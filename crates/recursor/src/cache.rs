@@ -55,26 +55,49 @@ impl Cache {
     }
 
     /// Insert a positive answer; TTL is the minimum record TTL, clamped.
-    pub fn put_positive(&mut self, now: SimTime, qname: Name, qtype: RecordType, records: Vec<Record>) {
-        let ttl = records.iter().map(|r| r.ttl as u64).min().unwrap_or(DEFAULT_NEGATIVE_TTL);
+    pub fn put_positive(
+        &mut self,
+        now: SimTime,
+        qname: Name,
+        qtype: RecordType,
+        records: Vec<Record>,
+    ) {
+        let ttl = records
+            .iter()
+            .map(|r| r.ttl as u64)
+            .min()
+            .unwrap_or(DEFAULT_NEGATIVE_TTL);
         let ttl = ttl.clamp(MIN_TTL, MAX_TTL);
         self.entries.insert(
             (qname, qtype),
             Entry {
                 expires: now + SimDuration::from_secs(ttl),
-                answer: CachedAnswer { rcode: Rcode::NoError, records },
+                answer: CachedAnswer {
+                    rcode: Rcode::NoError,
+                    records,
+                },
             },
         );
     }
 
     /// Insert a negative answer (NXDOMAIN or NODATA).
-    pub fn put_negative(&mut self, now: SimTime, qname: Name, qtype: RecordType, rcode: Rcode, ttl: Option<u64>) {
+    pub fn put_negative(
+        &mut self,
+        now: SimTime,
+        qname: Name,
+        qtype: RecordType,
+        rcode: Rcode,
+        ttl: Option<u64>,
+    ) {
         let ttl = ttl.unwrap_or(DEFAULT_NEGATIVE_TTL).clamp(MIN_TTL, MAX_TTL);
         self.entries.insert(
             (qname, qtype),
             Entry {
                 expires: now + SimDuration::from_secs(ttl),
-                answer: CachedAnswer { rcode, records: Vec::new() },
+                answer: CachedAnswer {
+                    rcode,
+                    records: Vec::new(),
+                },
             },
         );
     }
@@ -119,22 +142,43 @@ mod tests {
         let mut c = Cache::new();
         let t0 = SimTime::ZERO;
         c.put_positive(t0, n("a.com"), RecordType::A, vec![rec(60)]);
-        assert!(c.get(t0 + SimDuration::from_secs(59), &n("a.com"), RecordType::A).is_some());
-        assert!(c.get(t0 + SimDuration::from_secs(61), &n("a.com"), RecordType::A).is_none());
+        assert!(c
+            .get(t0 + SimDuration::from_secs(59), &n("a.com"), RecordType::A)
+            .is_some());
+        assert!(c
+            .get(t0 + SimDuration::from_secs(61), &n("a.com"), RecordType::A)
+            .is_none());
         assert_eq!(c.stats(), (1, 1));
     }
 
     #[test]
     fn ttl_is_min_of_records() {
         let mut c = Cache::new();
-        c.put_positive(SimTime::ZERO, n("a.com"), RecordType::A, vec![rec(300), rec(30)]);
-        assert!(c.get(SimTime::ZERO + SimDuration::from_secs(31), &n("a.com"), RecordType::A).is_none());
+        c.put_positive(
+            SimTime::ZERO,
+            n("a.com"),
+            RecordType::A,
+            vec![rec(300), rec(30)],
+        );
+        assert!(c
+            .get(
+                SimTime::ZERO + SimDuration::from_secs(31),
+                &n("a.com"),
+                RecordType::A
+            )
+            .is_none());
     }
 
     #[test]
     fn negative_entries() {
         let mut c = Cache::new();
-        c.put_negative(SimTime::ZERO, n("gone.com"), RecordType::A, Rcode::NxDomain, Some(60));
+        c.put_negative(
+            SimTime::ZERO,
+            n("gone.com"),
+            RecordType::A,
+            Rcode::NxDomain,
+            Some(60),
+        );
         let hit = c.get(SimTime::ZERO, &n("gone.com"), RecordType::A).unwrap();
         assert_eq!(hit.rcode, Rcode::NxDomain);
         assert!(hit.records.is_empty());
@@ -143,9 +187,26 @@ mod tests {
     #[test]
     fn ttl_clamped() {
         let mut c = Cache::new();
-        c.put_positive(SimTime::ZERO, n("z.com"), RecordType::A, vec![rec(10_000_000)]);
-        assert!(c.get(SimTime::ZERO + SimDuration::from_secs(MAX_TTL - 1), &n("z.com"), RecordType::A).is_some());
-        assert!(c.get(SimTime::ZERO + SimDuration::from_secs(MAX_TTL + 1), &n("z.com"), RecordType::A).is_none());
+        c.put_positive(
+            SimTime::ZERO,
+            n("z.com"),
+            RecordType::A,
+            vec![rec(10_000_000)],
+        );
+        assert!(c
+            .get(
+                SimTime::ZERO + SimDuration::from_secs(MAX_TTL - 1),
+                &n("z.com"),
+                RecordType::A
+            )
+            .is_some());
+        assert!(c
+            .get(
+                SimTime::ZERO + SimDuration::from_secs(MAX_TTL + 1),
+                &n("z.com"),
+                RecordType::A
+            )
+            .is_none());
     }
 
     #[test]

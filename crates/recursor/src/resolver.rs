@@ -171,8 +171,17 @@ impl RecursorNode {
         job_id
     }
 
-    fn finish(&mut self, job_id: u64, now: SimTime, rcode: Rcode, records: Vec<Record>, out: &mut Actions) {
-        let Some(job) = self.jobs.remove(&job_id) else { return };
+    fn finish(
+        &mut self,
+        job_id: u64,
+        now: SimTime,
+        rcode: Rcode,
+        records: Vec<Record>,
+        out: &mut Actions,
+    ) {
+        let Some(job) = self.jobs.remove(&job_id) else {
+            return;
+        };
         if let Some(id) = job.awaiting {
             self.pending.remove(&id);
         }
@@ -185,8 +194,13 @@ impl RecursorNode {
                 records.clone(),
             );
         } else if rcode == Rcode::NxDomain || (rcode == Rcode::NoError && records.is_empty()) {
-            self.cache
-                .put_negative(now, job.original.qname.clone(), job.original.qtype, rcode, None);
+            self.cache.put_negative(
+                now,
+                job.original.qname.clone(),
+                job.original.qtype,
+                rcode,
+                None,
+            );
         }
         if let Some(parent_id) = job.parent {
             // Internal NS lookup complete: resume or fail the parent.
@@ -235,11 +249,19 @@ impl RecursorNode {
         }
     }
 
-    fn handle_client_query(&mut self, now: SimTime, dgram: &Datagram, query: Message, out: &mut Actions) {
+    fn handle_client_query(
+        &mut self,
+        now: SimTime,
+        dgram: &Datagram,
+        query: Message,
+        out: &mut Actions,
+    ) {
         if self.response_rate < 1.0 && !self.rng.random_bool(self.response_rate) {
             return; // unstable resolver: silence
         }
-        let Some(q) = query.question().cloned() else { return };
+        let Some(q) = query.question().cloned() else {
+            return;
+        };
         if !query.flags.recursion_desired {
             let resp = Message::response_to(&query, Rcode::Refused);
             if let Ok(bytes) = resp.encode() {
@@ -275,13 +297,19 @@ impl RecursorNode {
     }
 
     fn handle_upstream_response(&mut self, now: SimTime, resp: Message, out: &mut Actions) {
-        let Some(&job_id) = self.pending.get(&resp.id) else { return };
+        let Some(&job_id) = self.pending.get(&resp.id) else {
+            return;
+        };
         // Validate the response matches the in-flight question.
         let matches = self
             .jobs
             .get(&job_id)
             .and_then(|j| resp.question().map(|q| (j, q.clone())))
-            .map(|(j, q)| j.awaiting == Some(resp.id) && q.qname == j.question.qname && q.qtype == j.question.qtype)
+            .map(|(j, q)| {
+                j.awaiting == Some(resp.id)
+                    && q.qname == j.question.qname
+                    && q.qtype == j.question.qtype
+            })
             .unwrap_or(false);
         if !matches {
             return;
@@ -305,8 +333,16 @@ impl RecursorNode {
         match resp.rcode() {
             Rcode::NoError => {}
             Rcode::NxDomain => {
-                let chain = self.jobs.get(&job_id).map(|j| j.chain.clone()).unwrap_or_default();
-                let rcode = if chain.is_empty() { Rcode::NxDomain } else { Rcode::NoError };
+                let chain = self
+                    .jobs
+                    .get(&job_id)
+                    .map(|j| j.chain.clone())
+                    .unwrap_or_default();
+                let rcode = if chain.is_empty() {
+                    Rcode::NxDomain
+                } else {
+                    Rcode::NoError
+                };
                 // A broken CNAME target still returns the chain gathered.
                 self.finish(job_id, now, rcode, chain, out);
                 return;
@@ -327,7 +363,11 @@ impl RecursorNode {
             .cloned()
             .collect();
         if !direct.is_empty() {
-            let mut full = self.jobs.get(&job_id).map(|j| j.chain.clone()).unwrap_or_default();
+            let mut full = self
+                .jobs
+                .get(&job_id)
+                .map(|j| j.chain.clone())
+                .unwrap_or_default();
             full.extend(direct);
             self.finish(job_id, now, Rcode::NoError, full, out);
             return;
@@ -399,24 +439,39 @@ impl RecursorNode {
             }
             // No glue anywhere: resolve the first NS name, unless we are
             // already an internal lookup (avoid unbounded recursion).
-            let is_internal = self.jobs.get(&job_id).map(|j| j.parent.is_some()).unwrap_or(true);
+            let is_internal = self
+                .jobs
+                .get(&job_id)
+                .map(|j| j.parent.is_some())
+                .unwrap_or(true);
             if is_internal {
                 self.finish(job_id, now, Rcode::ServFail, Vec::new(), out);
                 return;
             }
             let ns_name = referrals[0].0.clone();
-            self.start_job(None, Some(job_id), Question::new(ns_name, RecordType::A), out);
+            self.start_job(
+                None,
+                Some(job_id),
+                Question::new(ns_name, RecordType::A),
+                out,
+            );
             return;
         }
         // 4. NODATA.
-        let chain = self.jobs.get(&job_id).map(|j| j.chain.clone()).unwrap_or_default();
+        let chain = self
+            .jobs
+            .get(&job_id)
+            .map(|j| j.chain.clone())
+            .unwrap_or_default();
         self.finish(job_id, now, Rcode::NoError, chain, out);
     }
 }
 
 impl Node for RecursorNode {
     fn handle(&mut self, now: SimTime, dgram: &Datagram, out: &mut Actions) {
-        let Ok(msg) = Message::decode(&dgram.payload) else { return };
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            return;
+        };
         if msg.flags.response {
             self.handle_upstream_response(now, msg, out);
         } else {
@@ -427,7 +482,9 @@ impl Node for RecursorNode {
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Actions) {
         let job_id = token >> 16;
         let generation = (token & 0xFFFF) as u16;
-        let Some(job) = self.jobs.get(&job_id) else { return };
+        let Some(job) = self.jobs.get(&job_id) else {
+            return;
+        };
         if job.generation != generation || job.awaiting.is_none() {
             return; // stale timer
         }
@@ -475,27 +532,59 @@ mod tests {
         reg.add_tld(n("com"), com_ip);
         reg.add_tld(n("org"), org_ip);
         reg.delegate(&n("example.com"), vec![(n("ns1.example.com"), example_ns)]);
-        reg.delegate(&n("provider.com"), vec![(n("ns1.provider.com"), provider_ns)]);
+        reg.delegate(
+            &n("provider.com"),
+            vec![(n("ns1.provider.com"), provider_ns)],
+        );
         reg.delegate(&n("hosted.org"), vec![(n("ns.provider.com"), provider_ns)]);
 
         let mut net = Network::new(99);
-        net.add_node(root_ip, Box::new(StaticZoneNode::single(reg.build_root_zone())));
-        net.add_node(com_ip, Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("com")))));
-        net.add_node(org_ip, Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("org")))));
+        net.add_node(
+            root_ip,
+            Box::new(StaticZoneNode::single(reg.build_root_zone())),
+        );
+        net.add_node(
+            com_ip,
+            Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("com")))),
+        );
+        net.add_node(
+            org_ip,
+            Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("org")))),
+        );
 
         let mut example_zone = Zone::new(n("example.com"));
-        example_zone.add(Record::new(n("example.com"), 300, RData::A(Ipv4Addr::new(203, 0, 113, 80))));
-        example_zone.add(Record::new(n("www.example.com"), 300, RData::Cname(n("example.com"))));
+        example_zone.add(Record::new(
+            n("example.com"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, 80)),
+        ));
+        example_zone.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::Cname(n("example.com")),
+        ));
         net.add_node(example_ns, Box::new(StaticZoneNode::single(example_zone)));
 
         // provider NS serves provider.com (incl. its own A) and hosted.org
         let mut provider_zones = Vec::new();
         let mut pz = Zone::new(n("provider.com"));
-        pz.add(Record::new(n("ns.provider.com"), 300, RData::A(provider_ns)));
-        pz.add(Record::new(n("ns1.provider.com"), 300, RData::A(provider_ns)));
+        pz.add(Record::new(
+            n("ns.provider.com"),
+            300,
+            RData::A(provider_ns),
+        ));
+        pz.add(Record::new(
+            n("ns1.provider.com"),
+            300,
+            RData::A(provider_ns),
+        ));
         provider_zones.push(pz);
         let mut hz = Zone::new(n("hosted.org"));
-        hz.add(Record::new(n("hosted.org"), 300, RData::A(Ipv4Addr::new(203, 0, 113, 90))));
+        hz.add(Record::new(
+            n("hosted.org"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, 90)),
+        ));
         provider_zones.push(hz);
         net.add_node(
             provider_ns,
@@ -503,12 +592,28 @@ mod tests {
         );
 
         let resolver_ip = Ipv4Addr::new(9, 9, 9, 9);
-        net.add_node(resolver_ip, Box::new(RecursorNode::new(resolver_ip, root_ip, 1)));
+        net.add_node(
+            resolver_ip,
+            Box::new(RecursorNode::new(resolver_ip, root_ip, 1)),
+        );
         (net, resolver_ip)
     }
 
-    fn resolve(net: &mut Network, resolver: Ipv4Addr, name: &str, qtype: RecordType, id: u16) -> Option<Message> {
-        authdns::dns_query(net, Ipv4Addr::new(10, 0, 0, 1), resolver, &n(name), qtype, id)
+    fn resolve(
+        net: &mut Network,
+        resolver: Ipv4Addr,
+        name: &str,
+        qtype: RecordType,
+        id: u16,
+    ) -> Option<Message> {
+        authdns::dns_query(
+            net,
+            Ipv4Addr::new(10, 0, 0, 1),
+            resolver,
+            &n(name),
+            qtype,
+            id,
+        )
     }
 
     #[test]
@@ -517,7 +622,10 @@ mod tests {
         let resp = resolve(&mut net, resolver, "example.com", RecordType::A, 1).unwrap();
         assert_eq!(resp.rcode(), Rcode::NoError);
         assert!(resp.flags.recursion_available);
-        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 80));
+        assert_eq!(
+            resp.answers[0].rdata.as_a().unwrap(),
+            Ipv4Addr::new(203, 0, 113, 80)
+        );
     }
 
     #[test]
@@ -527,7 +635,10 @@ mod tests {
         assert_eq!(resp.rcode(), Rcode::NoError);
         assert_eq!(resp.answers.len(), 2);
         assert!(matches!(resp.answers[0].rdata, RData::Cname(_)));
-        assert_eq!(resp.answers[1].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 80));
+        assert_eq!(
+            resp.answers[1].rdata.as_a().unwrap(),
+            Ipv4Addr::new(203, 0, 113, 80)
+        );
     }
 
     #[test]
@@ -537,7 +648,10 @@ mod tests {
         // first resolve ns.provider.com via com.
         let resp = resolve(&mut net, resolver, "hosted.org", RecordType::A, 3).unwrap();
         assert_eq!(resp.rcode(), Rcode::NoError);
-        assert_eq!(resp.answers[0].rdata.as_a().unwrap(), Ipv4Addr::new(203, 0, 113, 90));
+        assert_eq!(
+            resp.answers[0].rdata.as_a().unwrap(),
+            Ipv4Addr::new(203, 0, 113, 90)
+        );
     }
 
     #[test]
@@ -565,7 +679,10 @@ mod tests {
         assert_eq!(resp.rcode(), Rcode::NoError);
         let events_used = net.stats().events - events_before;
         // cache hit: only client query + reply cross the fabric
-        assert!(events_used <= 2, "expected cached answer, used {events_used} events");
+        assert!(
+            events_used <= 2,
+            "expected cached answer, used {events_used} events"
+        );
     }
 
     #[test]
@@ -580,9 +697,13 @@ mod tests {
         let mut ok = 0;
         for i in 0..10u16 {
             for attempt in 0..3u16 {
-                if let Some(resp) =
-                    resolve(&mut net, resolver, "example.com", RecordType::A, 100 + i * 4 + attempt)
-                {
+                if let Some(resp) = resolve(
+                    &mut net,
+                    resolver,
+                    "example.com",
+                    RecordType::A,
+                    100 + i * 4 + attempt,
+                ) {
                     if resp.rcode() == Rcode::NoError && !resp.answers.is_empty() {
                         ok += 1;
                         break;
@@ -601,7 +722,9 @@ mod tests {
         let root = Ipv4Addr::new(198, 41, 0, 4);
         net.add_node(
             bad_ip,
-            Box::new(RecursorNode::new(bad_ip, root, 2).with_manipulation(Manipulation::InjectA(inject))),
+            Box::new(
+                RecursorNode::new(bad_ip, root, 2).with_manipulation(Manipulation::InjectA(inject)),
+            ),
         );
         let resp = resolve(&mut net, bad_ip, "example.com", RecordType::A, 8).unwrap();
         assert_eq!(resp.answers[0].rdata.as_a().unwrap(), inject);
@@ -672,14 +795,27 @@ mod tcp_fallback_tests {
 
         let mut zone = Zone::new(n("fat.com"));
         for i in 0..40u8 {
-            zone.add(dnswire::Record::new(n("fat.com"), 60, RData::A(Ipv4Addr::new(10, 1, 1, i))));
+            zone.add(dnswire::Record::new(
+                n("fat.com"),
+                60,
+                RData::A(Ipv4Addr::new(10, 1, 1, i)),
+            ));
         }
         let mut net = Network::new(4);
-        net.add_node(root_ip, Box::new(StaticZoneNode::single(reg.build_root_zone())));
-        net.add_node(com_ip, Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("com")))));
+        net.add_node(
+            root_ip,
+            Box::new(StaticZoneNode::single(reg.build_root_zone())),
+        );
+        net.add_node(
+            com_ip,
+            Box::new(StaticZoneNode::single(reg.build_tld_zone(&n("com")))),
+        );
         net.add_node(auth_ip, Box::new(StaticZoneNode::single(zone)));
         let resolver_ip = Ipv4Addr::new(9, 9, 9, 10);
-        net.add_node(resolver_ip, Box::new(RecursorNode::new(resolver_ip, root_ip, 5)));
+        net.add_node(
+            resolver_ip,
+            Box::new(RecursorNode::new(resolver_ip, root_ip, 5)),
+        );
 
         let resp = authdns::dns_query(
             &mut net,
@@ -691,6 +827,10 @@ mod tcp_fallback_tests {
         )
         .expect("resolution completes");
         assert_eq!(resp.rcode(), Rcode::NoError);
-        assert_eq!(resp.answers.len(), 40, "full RRset must arrive via TCP fallback");
+        assert_eq!(
+            resp.answers.len(),
+            40,
+            "full RRset must arrive via TCP fallback"
+        );
     }
 }

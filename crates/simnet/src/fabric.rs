@@ -26,14 +26,20 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { base: SimDuration::from_millis(10), per_pair_spread_us: 90_000 }
+        LatencyModel {
+            base: SimDuration::from_millis(10),
+            per_pair_spread_us: 90_000,
+        }
     }
 }
 
 impl LatencyModel {
     /// Zero-latency model (events still order deterministically by seq).
     pub fn instant() -> Self {
-        LatencyModel { base: SimDuration::ZERO, per_pair_spread_us: 0 }
+        LatencyModel {
+            base: SimDuration::ZERO,
+            per_pair_spread_us: 0,
+        }
     }
 
     /// One-way delay for a (src, dst) pair.
@@ -161,7 +167,10 @@ impl Network {
     /// Panics if a node or external registration already occupies `ip` —
     /// address collisions are a world-construction bug.
     pub fn add_node(&mut self, ip: Ipv4Addr, node: Box<dyn Node>) {
-        assert!(!self.external.contains_key(&ip), "ip {ip} already registered as external");
+        assert!(
+            !self.external.contains_key(&ip),
+            "ip {ip} already registered as external"
+        );
         let prev = self.nodes.insert(ip, node);
         assert!(prev.is_none(), "duplicate node at {ip}");
     }
@@ -180,7 +189,10 @@ impl Network {
 
     /// Drain the inbox of an external endpoint.
     pub fn take_inbox(&mut self, ip: Ipv4Addr) -> Vec<Datagram> {
-        self.external.get_mut(&ip).map(std::mem::take).unwrap_or_default()
+        self.external
+            .get_mut(&ip)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Inject a datagram into the fabric (from an external sender).
@@ -199,7 +211,13 @@ impl Network {
                 if duplicate {
                     let copy = dgram.clone();
                     let at = self.now + delay + SimDuration::from_micros(50);
-                    self.push_event(at, EventKind::Deliver { dgram: copy, corrupt: false });
+                    self.push_event(
+                        at,
+                        EventKind::Deliver {
+                            dgram: copy,
+                            corrupt: false,
+                        },
+                    );
                 }
                 let at = self.now + delay;
                 self.push_event(at, EventKind::Deliver { dgram, corrupt });
@@ -209,7 +227,11 @@ impl Network {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Process events until the queue is empty or `max_events` is reached.
@@ -301,7 +323,13 @@ impl Network {
         }
         for (delay, token) in out.timers {
             let at = self.now + delay;
-            self.push_event(at, EventKind::Timer { node: origin, token });
+            self.push_event(
+                at,
+                EventKind::Timer {
+                    node: origin,
+                    token,
+                },
+            );
         }
     }
 
@@ -325,7 +353,12 @@ impl Network {
         // Drain any stale datagrams from previous exchanges.
         self.take_inbox(src.ip);
         let deadline = self.now + timeout;
-        self.send(Datagram { src, dst, proto, payload });
+        self.send(Datagram {
+            src,
+            dst,
+            proto,
+            payload,
+        });
         loop {
             let next_at = match self.queue.peek() {
                 Some(Reverse(ev)) if ev.at <= deadline => ev.at,
@@ -377,7 +410,11 @@ mod tests {
         fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
             let mut p = dgram.payload.clone();
             p.push(b'h');
-            out.send(Datagram::udp(Endpoint::new(dgram.dst.ip, dgram.dst.port), self.next, p));
+            out.send(Datagram::udp(
+                Endpoint::new(dgram.dst.ip, dgram.dst.port),
+                self.next,
+                p,
+            ));
         }
     }
 
@@ -453,10 +490,24 @@ mod tests {
     #[test]
     fn multi_hop_forwarding() {
         let mut net = Network::new(1);
-        net.add_node(ip(2), Box::new(Hop { next: Endpoint::new(ip(3), 53) }));
-        net.add_node(ip(3), Box::new(Hop { next: Endpoint::new(ip(4), 99) }));
+        net.add_node(
+            ip(2),
+            Box::new(Hop {
+                next: Endpoint::new(ip(3), 53),
+            }),
+        );
+        net.add_node(
+            ip(3),
+            Box::new(Hop {
+                next: Endpoint::new(ip(4), 99),
+            }),
+        );
         net.register_external(ip(4));
-        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 53), vec![b'x']));
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(2), 53),
+            vec![b'x'],
+        ));
         net.settle();
         let got = net.take_inbox(ip(4));
         assert_eq!(got.len(), 1);
@@ -467,7 +518,11 @@ mod tests {
     fn timers_fire_in_order() {
         let mut net = Network::new(1);
         net.add_node(ip(2), Box::new(Ticker { fired: 0 }));
-        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 1), vec![]));
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(2), 1),
+            vec![],
+        ));
         net.settle();
         assert!(net.now() >= SimTime::ZERO + SimDuration::from_secs(3));
         // 1 delivery + 3 timer events
@@ -517,7 +572,11 @@ mod tests {
             ..FaultPlan::default()
         });
         net.register_external(ip(4));
-        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(4), 1), vec![0u8; 8]));
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(4), 1),
+            vec![0u8; 8],
+        ));
         net.settle();
         let got = net.take_inbox(ip(4));
         assert_eq!(got.len(), 1);
@@ -537,7 +596,11 @@ mod tests {
     fn run_until_respects_deadline() {
         let mut net = Network::new(1);
         net.add_node(ip(2), Box::new(Ticker { fired: 0 }));
-        net.send(Datagram::udp(Endpoint::new(ip(1), 1), Endpoint::new(ip(2), 1), vec![]));
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(2), 1),
+            vec![],
+        ));
         // Only the delivery plus the first timer (at ~1s) fit in 1.2s.
         net.run_until(SimTime::ZERO + SimDuration::from_millis(1200));
         assert!(net.stats().events <= 2);

@@ -23,7 +23,12 @@ pub struct FaultPlan {
 
 impl Default for FaultPlan {
     fn default() -> Self {
-        FaultPlan { drop_chance: 0.0, corrupt_chance: 0.0, duplicate_chance: 0.0, size_limit: 0 }
+        FaultPlan {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            duplicate_chance: 0.0,
+            size_limit: 0,
+        }
     }
 }
 
@@ -35,7 +40,10 @@ impl FaultPlan {
 
     /// A mildly lossy network (1% drop), useful for retry-path tests.
     pub fn lossy(drop_chance: f64) -> Self {
-        FaultPlan { drop_chance, ..FaultPlan::default() }
+        FaultPlan {
+            drop_chance,
+            ..FaultPlan::default()
+        }
     }
 
     /// What should happen to one datagram.
@@ -91,7 +99,10 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(
                 plan.decide(&mut rng, 100),
-                FaultDecision::Deliver { corrupt: false, duplicate: false }
+                FaultDecision::Deliver {
+                    corrupt: false,
+                    duplicate: false
+                }
             );
         }
     }
@@ -118,9 +129,15 @@ mod tests {
     #[test]
     fn size_limit_drops_large() {
         let mut rng = StdRng::seed_from_u64(4);
-        let plan = FaultPlan { size_limit: 512, ..FaultPlan::default() };
+        let plan = FaultPlan {
+            size_limit: 512,
+            ..FaultPlan::default()
+        };
         assert_eq!(plan.decide(&mut rng, 513), FaultDecision::Drop);
-        assert!(matches!(plan.decide(&mut rng, 512), FaultDecision::Deliver { .. }));
+        assert!(matches!(
+            plan.decide(&mut rng, 512),
+            FaultDecision::Deliver { .. }
+        ));
     }
 
     #[test]
@@ -147,10 +164,17 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let plan = FaultPlan { drop_chance: 0.5, corrupt_chance: 0.5, duplicate_chance: 0.5, size_limit: 0 };
+        let plan = FaultPlan {
+            drop_chance: 0.5,
+            corrupt_chance: 0.5,
+            duplicate_chance: 0.5,
+            size_limit: 0,
+        };
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..50).map(|_| plan.decide(&mut rng, 10)).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| plan.decide(&mut rng, 10))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

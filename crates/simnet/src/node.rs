@@ -64,17 +64,32 @@ pub struct Datagram {
 impl Datagram {
     /// Construct a UDP datagram.
     pub fn udp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Self {
-        Datagram { src, dst, proto: Proto::Udp, payload }
+        Datagram {
+            src,
+            dst,
+            proto: Proto::Udp,
+            payload,
+        }
     }
 
     /// Construct a TCP-tagged segment.
     pub fn tcp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Self {
-        Datagram { src, dst, proto: Proto::Tcp, payload }
+        Datagram {
+            src,
+            dst,
+            proto: Proto::Tcp,
+            payload,
+        }
     }
 
     /// A reply datagram with src/dst swapped.
     pub fn reply(&self, payload: Vec<u8>) -> Datagram {
-        Datagram { src: self.dst, dst: self.src, proto: self.proto, payload }
+        Datagram {
+            src: self.dst,
+            dst: self.src,
+            proto: self.proto,
+            payload,
+        }
     }
 }
 

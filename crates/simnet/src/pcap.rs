@@ -126,7 +126,10 @@ mod tests {
         let h = global_header();
         assert_eq!(h.len(), 24);
         assert_eq!(u32::from_le_bytes(h[0..4].try_into().unwrap()), PCAP_MAGIC);
-        assert_eq!(u32::from_le_bytes(h[20..24].try_into().unwrap()), LINKTYPE_RAW);
+        assert_eq!(
+            u32::from_le_bytes(h[20..24].try_into().unwrap()),
+            LINKTYPE_RAW
+        );
     }
 
     #[test]

@@ -147,7 +147,10 @@ mod tests {
     fn saturating_behaviour() {
         let max = SimTime(u64::MAX);
         assert_eq!(max + SimDuration::from_secs(1), max);
-        assert_eq!(SimDuration(u64::MAX).saturating_mul(2), SimDuration(u64::MAX));
+        assert_eq!(
+            SimDuration(u64::MAX).saturating_mul(2),
+            SimDuration(u64::MAX)
+        );
     }
 
     #[test]

@@ -64,12 +64,20 @@ pub struct FlowLog {
 impl FlowLog {
     /// A capture that retains full payloads.
     pub fn new() -> Self {
-        FlowLog { records: Vec::new(), enabled: true, payload_cap: 0 }
+        FlowLog {
+            records: Vec::new(),
+            enabled: true,
+            payload_cap: 0,
+        }
     }
 
     /// A disabled capture (zero overhead beyond the branch).
     pub fn disabled() -> Self {
-        FlowLog { records: Vec::new(), enabled: false, payload_cap: 0 }
+        FlowLog {
+            records: Vec::new(),
+            enabled: false,
+            payload_cap: 0,
+        }
     }
 
     /// Limit retained payload bytes per record.

@@ -157,7 +157,10 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
         let (domain, class) = if plan.rng.random_bool(0.15) {
             let label: &[u8] =
                 [&b"api"[..], b"cdn", b"raw", b"mail"][plan.rng.random_range(0..4usize)];
-            (apex.child(label).expect("child fits"), DomainClass::Subdomain)
+            (
+                apex.child(label).expect("child fits"),
+                DomainClass::Subdomain,
+            )
         } else {
             (apex, DomainClass::RegisteredSld)
         };
@@ -177,14 +180,11 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
         // instead of SPF text (the paper's acknowledged blind spot).
         let command_blob = rtypes == vec![RecordType::Txt] && plan.rng.random_bool(0.2);
         // C2 block 40.x.y.0/24 for campaign c.
-        let block = (
-            40u8,
-            (c / 250) as u8,
-            (c % 250) as u8,
-        );
+        let block = (40u8, (c / 250) as u8, (c % 250) as u8);
         let n_c2 = plan.rng.random_range(1..=3usize);
-        let c2_ips: Vec<Ipv4Addr> =
-            (0..n_c2).map(|k| Ipv4Addr::new(block.0, block.1, block.2, 10 + k as u8)).collect();
+        let c2_ips: Vec<Ipv4Addr> = (0..n_c2)
+            .map(|k| Ipv4Addr::new(block.0, block.1, block.2, 10 + k as u8))
+            .collect();
         // Detection class.
         let detection = if plan.rng.random_bool(plan.malicious_fraction) {
             let roll: f64 = plan.rng.random_range(0.0..1.0);
@@ -256,12 +256,7 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
                                     Record::new(
                                         domain.clone(),
                                         120,
-                                        RData::A(Ipv4Addr::new(
-                                            block.0,
-                                            block.1,
-                                            block.2,
-                                            100 + k,
-                                        )),
+                                        RData::A(Ipv4Addr::new(block.0, block.1, block.2, 100 + k)),
                                     ),
                                 );
                             }
@@ -306,7 +301,10 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
                             Record::new(
                                 domain.clone(),
                                 120,
-                                RData::Mx { preference: 10, exchange: exchange.clone() },
+                                RData::Mx {
+                                    preference: 10,
+                                    exchange: exchange.clone(),
+                                },
                             ),
                         );
                         for ip in &c2_ips {
@@ -319,7 +317,9 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
         }
         // Register C2 infrastructure in the metadata DB.
         plan.db.add_prefix(
-            format!("{}.{}.{}.0/24", block.0, block.1, block.2).parse().expect("cidr"),
+            format!("{}.{}.{}.0/24", block.0, block.1, block.2)
+                .parse()
+                .expect("cidr"),
             64_900 + (c as u32 % 9),
             &format!("BulletProof-{}", c % 9),
         );
@@ -417,7 +417,8 @@ pub fn plant_campaigns(plan: &mut AttackerPlan<'_>) -> Vec<PlantedUr> {
             let serving = plan.providers[p_idx].borrow().serving_nameservers(zid);
             if let Some((_, ns_ip)) = serving.first() {
                 if rtypes.contains(&RecordType::A) {
-                    plan.samples.push(malware::connectivity_checker(c as u32, *ns_ip, &domain));
+                    plan.samples
+                        .push(malware::connectivity_checker(c as u32, *ns_ip, &domain));
                 }
             }
         }

@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for cfg in [WorldConfig::small(), WorldConfig::medium(), WorldConfig::default_scale()] {
+        for cfg in [
+            WorldConfig::small(),
+            WorldConfig::medium(),
+            WorldConfig::default_scale(),
+        ] {
             assert!(cfg.top_domains >= 10);
             assert!(cfg.ns_per_synthetic.0 <= cfg.ns_per_synthetic.1);
             assert!(cfg.label_only_fraction + cfg.ids_only_fraction < 1.0);

@@ -23,7 +23,11 @@ pub struct ProviderSpec {
 /// set (no subdomain hosting, no duplicates, retrieval exists).
 fn akamai_policy() -> HostingPolicy {
     let mut p = HostingPolicy::tencent();
-    p.duplicates = DuplicatePolicy { same_user: false, cross_user: false, no_retrieval: false };
+    p.duplicates = DuplicatePolicy {
+        same_user: false,
+        cross_user: false,
+        no_retrieval: false,
+    };
     p
 }
 

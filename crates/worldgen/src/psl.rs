@@ -28,12 +28,11 @@ impl PublicSuffixList {
     pub fn standard() -> Self {
         let mut psl = PublicSuffixList::new();
         for s in [
-            "com", "net", "org", "io", "info", "biz", "xyz", "dev", "app",
-            "de", "fr", "nl", "jp", "kr", "br", "in", "ru", "na", "gd", "fm", "kp",
-            "cn", "uk", "us",
+            "com", "net", "org", "io", "info", "biz", "xyz", "dev", "app", "de", "fr", "nl", "jp",
+            "kr", "br", "in", "ru", "na", "gd", "fm", "kp", "cn", "uk", "us",
             // multi-label public suffixes
-            "co.uk", "org.uk", "gov.uk", "com.cn", "gov.cn", "edu.cn",
-            "co.jp", "gov.kp", "edu.kp", "gov.gd", "edu.fm", "info.na",
+            "co.uk", "org.uk", "gov.uk", "com.cn", "gov.cn", "edu.cn", "co.jp", "gov.kp", "edu.kp",
+            "gov.gd", "edu.fm", "info.na",
         ] {
             psl.add(s.parse().expect("static suffix parses"));
         }
@@ -116,17 +115,29 @@ mod tests {
     #[test]
     fn suffix_lookup_prefers_longest() {
         let psl = PublicSuffixList::standard();
-        assert_eq!(psl.public_suffix_of(&n("shop.example.co.uk")).unwrap(), n("co.uk"));
+        assert_eq!(
+            psl.public_suffix_of(&n("shop.example.co.uk")).unwrap(),
+            n("co.uk")
+        );
         assert_eq!(psl.public_suffix_of(&n("example.uk")).unwrap(), n("uk"));
-        assert_eq!(psl.public_suffix_of(&n("ministry.gov.cn")).unwrap(), n("gov.cn"));
+        assert_eq!(
+            psl.public_suffix_of(&n("ministry.gov.cn")).unwrap(),
+            n("gov.cn")
+        );
         assert!(psl.public_suffix_of(&n("local.lan")).is_none());
     }
 
     #[test]
     fn registrable_domain_is_etld_plus_one() {
         let psl = PublicSuffixList::standard();
-        assert_eq!(psl.registrable_domain(&n("www.example.com")).unwrap(), n("example.com"));
-        assert_eq!(psl.registrable_domain(&n("a.b.site.gov.cn")).unwrap(), n("site.gov.cn"));
+        assert_eq!(
+            psl.registrable_domain(&n("www.example.com")).unwrap(),
+            n("example.com")
+        );
+        assert_eq!(
+            psl.registrable_domain(&n("a.b.site.gov.cn")).unwrap(),
+            n("site.gov.cn")
+        );
         assert!(psl.registrable_domain(&n("gov.cn")).is_none());
         assert!(psl.registrable_domain(&n("com")).is_none());
     }
@@ -137,12 +148,24 @@ mod tests {
         let mut reg = DelegationRegistry::new();
         reg.set_root(Ipv4Addr::new(198, 41, 0, 4));
         reg.add_tld(n("com"), Ipv4Addr::new(192, 5, 6, 30));
-        reg.delegate(&n("example.com"), vec![(n("ns1.example.com"), Ipv4Addr::new(1, 1, 1, 1))]);
+        reg.delegate(
+            &n("example.com"),
+            vec![(n("ns1.example.com"), Ipv4Addr::new(1, 1, 1, 1))],
+        );
 
         assert_eq!(psl.classify(&n("gov.cn"), &reg), DomainClass::Etld);
-        assert_eq!(psl.classify(&n("example.com"), &reg), DomainClass::RegisteredSld);
-        assert_eq!(psl.classify(&n("ghost.com"), &reg), DomainClass::Unregistered);
-        assert_eq!(psl.classify(&n("api.example.com"), &reg), DomainClass::Subdomain);
+        assert_eq!(
+            psl.classify(&n("example.com"), &reg),
+            DomainClass::RegisteredSld
+        );
+        assert_eq!(
+            psl.classify(&n("ghost.com"), &reg),
+            DomainClass::Unregistered
+        );
+        assert_eq!(
+            psl.classify(&n("api.example.com"), &reg),
+            DomainClass::Subdomain
+        );
     }
 
     #[test]

@@ -23,10 +23,10 @@ pub struct TrancoList {
 /// Case-study SLDs and the Tranco ranks the paper reports for them.
 /// Positions are scaled into the generated list's size.
 pub const CASE_STUDY_DOMAINS: [(&str, usize); 5] = [
-    ("github.com", 30),    // api.github.com SLD rank 30 (Specter)
-    ("ibm.com", 125),      // Specter
+    ("github.com", 30),     // api.github.com SLD rank 30 (Specter)
+    ("ibm.com", 125),       // Specter
     ("speedtest.net", 415), // masquerading SPF
-    ("gitlab.com", 527),   // api.gitlab.com (Dark.IoT 2021)
+    ("gitlab.com", 527),    // api.gitlab.com (Dark.IoT 2021)
     ("pastebin.com", 2000), // raw.pastebin.com SLD rank 2033 (Dark.IoT 2023)
 ];
 
@@ -55,9 +55,8 @@ impl TrancoList {
         ];
         let total_weight: u32 = tlds.iter().map(|(_, w)| w).sum();
         let words = [
-            "search", "video", "shop", "news", "cloud", "mail", "play", "bank", "social",
-            "stream", "wiki", "travel", "photo", "game", "music", "code", "data", "chat",
-            "store", "blog",
+            "search", "video", "shop", "news", "cloud", "mail", "play", "bank", "social", "stream",
+            "wiki", "travel", "photo", "game", "music", "code", "data", "chat", "store", "blog",
         ];
         let mut domains: Vec<Option<Name>> = vec![None; count];
         // Pin case-study domains at scaled ranks.
@@ -89,10 +88,15 @@ impl TrancoList {
                 pick -= w;
             }
             serial += 1;
-            let name: Name = format!("{word}{serial:04}.{tld}").parse().expect("generated name parses");
+            let name: Name = format!("{word}{serial:04}.{tld}")
+                .parse()
+                .expect("generated name parses");
             *slot = Some(name);
         }
-        let domains: Vec<Name> = domains.into_iter().map(|d| d.expect("all slots filled")).collect();
+        let domains: Vec<Name> = domains
+            .into_iter()
+            .map(|d| d.expect("all slots filled"))
+            .collect();
         let rank_of = domains
             .iter()
             .enumerate()

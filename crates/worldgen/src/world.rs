@@ -8,8 +8,8 @@ use crate::providers::{named_providers, synthetic_providers, ProviderSpec};
 use crate::psl::PublicSuffixList;
 use crate::tranco::TrancoList;
 use authdns::{
-    AnswerMap, DelegationRegistry, DomainClass, HostingProvider, OracleRecursiveNs,
-    ProviderNsNode, StaticZoneNode, Zone, ZoneId,
+    AnswerMap, DelegationRegistry, DomainClass, HostingProvider, OracleRecursiveNs, ProviderNsNode,
+    StaticZoneNode, Zone, ZoneId,
 };
 use dnswire::{Name, RData, Record, RecordType};
 use intel::{
@@ -177,20 +177,23 @@ impl World {
         let case_study_indices: std::collections::HashSet<usize> =
             self.truth.case_studies.values().copied().collect();
         for (idx, c) in self.truth.campaigns.iter().enumerate() {
-            if case_study_indices.contains(&idx)
-                || self.truth.expired_campaigns.contains(&idx)
-            {
+            if case_study_indices.contains(&idx) || self.truth.expired_campaigns.contains(&idx) {
                 continue;
             }
             if rng.random_bool(expire_fraction.clamp(0.0, 1.0)) {
-                self.providers[c.provider].borrow_mut().deactivate_zone(c.zone);
+                self.providers[c.provider]
+                    .borrow_mut()
+                    .deactivate_zone(c.zone);
                 self.truth.expired_campaigns.push(idx);
             }
         }
         // Plant the next wave, with C2 blocks offset past every campaign
         // planted so far.
-        let weights: Vec<u64> =
-            self.provider_meta.iter().map(|m| m.tail_hosted_sites as u64 + 1).collect();
+        let weights: Vec<u64> = self
+            .provider_meta
+            .iter()
+            .map(|m| m.tail_hosted_sites as u64 + 1)
+            .collect();
         let offset = self.truth.campaigns.len();
         let mut plan = AttackerPlan {
             rng: &mut rng,
@@ -239,8 +242,10 @@ impl Builder {
         let tranco = TrancoList::generate(config.seed ^ 0x5452, config.top_domains);
         Builder {
             rng,
-            net: Network::new(config.seed ^ 0x4E45)
-                .with_latency(LatencyModel { base: simnet::SimDuration::from_millis(5), per_pair_spread_us: 45_000 }),
+            net: Network::new(config.seed ^ 0x4E45).with_latency(LatencyModel {
+                base: simnet::SimDuration::from_millis(5),
+                per_pair_spread_us: 45_000,
+            }),
             db: NetDb::new(),
             registry: DelegationRegistry::new(),
             psl: PublicSuffixList::standard(),
@@ -277,7 +282,11 @@ impl Builder {
         let sandbox_resolver = Ipv4Addr::new(9, 9, 9, 9);
         self.net.add_node(
             sandbox_resolver,
-            Box::new(RecursorNode::new(sandbox_resolver, self.registry.root_ip(), self.config.seed ^ 0x5342)),
+            Box::new(RecursorNode::new(
+                sandbox_resolver,
+                self.registry.root_ip(),
+                self.config.seed ^ 0x5342,
+            )),
         );
         let sandbox = Sandbox::new(Ipv4Addr::new(10, 99, 0, 1), sandbox_resolver);
 
@@ -319,14 +328,29 @@ impl Builder {
             self.registry.add_tld(tld.clone(), ip);
             self.db.set_geo(ip, GeoInfo::new("US", 1));
         }
-        self.db.add_prefix("192.5.0.0/16".parse().expect("cidr"), 64_496, "RegistryNet");
-        self.db.add_prefix("198.41.0.0/24".parse().expect("cidr"), 64_496, "RegistryNet");
+        self.db
+            .add_prefix("192.5.0.0/16".parse().expect("cidr"), 64_496, "RegistryNet");
+        self.db.add_prefix(
+            "198.41.0.0/24".parse().expect("cidr"),
+            64_496,
+            "RegistryNet",
+        );
     }
 
     fn build_vendors(&mut self) {
         for name in [
-            "SimVT", "QAX-Alpha", "360-TI", "FalconEye", "NetGuard", "Sentry1", "DeepTrace",
-            "IronWall", "KitShield", "ArborX", "ClearSky", "OwlSec",
+            "SimVT",
+            "QAX-Alpha",
+            "360-TI",
+            "FalconEye",
+            "NetGuard",
+            "Sentry1",
+            "DeepTrace",
+            "IronWall",
+            "KitShield",
+            "ArborX",
+            "ClearSky",
+            "OwlSec",
         ] {
             self.vendors.push(VendorFeed::new(name));
         }
@@ -350,14 +374,18 @@ impl Builder {
                 .filter(|c| c.is_ascii_alphanumeric())
                 .collect::<String>()
                 .to_lowercase();
-            let infra_domain: Name =
-                format!("{slug}-dns.net").parse().expect("provider infra domain parses");
+            let infra_domain: Name = format!("{slug}-dns.net")
+                .parse()
+                .expect("provider infra domain parses");
             let fleet: Vec<(Name, Ipv4Addr)> = (0..spec.ns_count)
                 .map(|i| {
                     let name: Name = format!("ns{}.{slug}-dns.net", i + 1)
                         .parse()
                         .expect("ns name parses");
-                    (name, Ipv4Addr::new(20, p_idx as u8, (i / 200) as u8, (i % 200 + 1) as u8))
+                    (
+                        name,
+                        Ipv4Addr::new(20, p_idx as u8, (i / 200) as u8, (i % 200 + 1) as u8),
+                    )
                 })
                 .collect();
             let protective_ip = Ipv4Addr::new(20, p_idx as u8, 255, 1);
@@ -375,8 +403,10 @@ impl Builder {
                 &spec.name,
             );
             for (i, (ns_name, ip)) in fleet.iter().enumerate() {
-                self.net.add_node(*ip, Box::new(ProviderNsNode::new(provider.clone(), *ip)));
-                self.db.set_geo(*ip, GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], i as u16));
+                self.net
+                    .add_node(*ip, Box::new(ProviderNsNode::new(provider.clone(), *ip)));
+                self.db
+                    .set_geo(*ip, GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], i as u16));
                 self.nameservers.push(NsInfo {
                     ip: *ip,
                     name: ns_name.clone(),
@@ -386,7 +416,8 @@ impl Builder {
                 });
             }
             if spec.policy.protective_records {
-                self.db.set_http(protective_ip, HttpProfile::provider_warning(&spec.name));
+                self.db
+                    .set_http(protective_ip, HttpProfile::provider_warning(&spec.name));
                 self.db.set_geo(protective_ip, GeoInfo::new("US", 250));
             }
             // Infrastructure zone with A records for every NS name.
@@ -401,8 +432,7 @@ impl Builder {
                     p.add_record(zid, Record::new(ns_name.clone(), 3600, RData::A(*ip)));
                 }
                 let serving = p.serving_nameservers(zid);
-                let delegation: Vec<(Name, Ipv4Addr)> =
-                    serving.into_iter().take(4).collect();
+                let delegation: Vec<(Name, Ipv4Addr)> = serving.into_iter().take(4).collect();
                 drop(p);
                 self.registry.delegate(&infra_domain, delegation);
             }
@@ -441,17 +471,29 @@ impl Builder {
         let domains: Vec<Name> = self.tranco.domains().to_vec();
         for (i, domain) in domains.iter().enumerate() {
             let block = ((i / 250) as u8, (i % 250) as u8);
-            let prefix: netdb::Cidr =
-                format!("30.{}.{}.0/24", block.0, block.1).parse().expect("cidr");
+            let prefix: netdb::Cidr = format!("30.{}.{}.0/24", block.0, block.1)
+                .parse()
+                .expect("cidr");
             let asn = 65_000 + (i as u32 % 17);
-            self.db.add_prefix(prefix, asn, &format!("Hosting-AS{}", i % 17));
-            let ip_count = if i < domains.len() / 5 { 2 + (i % 3) } else { 1 };
-            let ips: Vec<Ipv4Addr> =
-                (0..ip_count).map(|k| Ipv4Addr::new(30, block.0, block.1, 10 + k as u8)).collect();
+            self.db
+                .add_prefix(prefix, asn, &format!("Hosting-AS{}", i % 17));
+            let ip_count = if i < domains.len() / 5 {
+                2 + (i % 3)
+            } else {
+                1
+            };
+            let ips: Vec<Ipv4Addr> = (0..ip_count)
+                .map(|k| Ipv4Addr::new(30, block.0, block.1, 10 + k as u8))
+                .collect();
             for (k, ip) in ips.iter().enumerate() {
-                self.db.set_geo(*ip, GeoInfo::new(COUNTRIES[(i + k) % COUNTRIES.len()], k as u16));
-                self.db.set_cert(*ip, CertInfo::for_domain(&domain.to_string(), "SimCA"));
-                self.db.set_http(*ip, HttpProfile::normal(&format!("{domain} home")));
+                self.db.set_geo(
+                    *ip,
+                    GeoInfo::new(COUNTRIES[(i + k) % COUNTRIES.len()], k as u16),
+                );
+                self.db
+                    .set_cert(*ip, CertInfo::for_domain(&domain.to_string(), "SimCA"));
+                self.db
+                    .set_http(*ip, HttpProfile::normal(&format!("{domain} home")));
             }
             // Zone records.
             let mut records: Vec<Record> = ips
@@ -477,11 +519,15 @@ impl Builder {
             if i % 10 < 5 {
                 let mail_name = domain.child(b"mail").expect("mail child fits");
                 let mail_ip = Ipv4Addr::new(30, block.0, block.1, 25);
-                self.db.set_geo(mail_ip, GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], 0));
+                self.db
+                    .set_geo(mail_ip, GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], 0));
                 records.push(Record::new(
                     domain.clone(),
                     300,
-                    RData::Mx { preference: 10, exchange: mail_name.clone() },
+                    RData::Mx {
+                        preference: 10,
+                        exchange: mail_name.clone(),
+                    },
                 ));
                 records.push(Record::new(mail_name, 300, RData::A(mail_ip)));
             }
@@ -536,7 +582,8 @@ impl Builder {
                     zone.add(r.clone());
                 }
                 zone.add(Record::new(ns_name.clone(), 3600, RData::A(ns_ip)));
-                self.net.add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
+                self.net
+                    .add_node(ns_ip, Box::new(StaticZoneNode::single(zone)));
                 self.registry.delegate(domain, vec![(ns_name, ns_ip)]);
             }
             // Passive DNS + oracle ground truth, keyed by each record's
@@ -577,12 +624,15 @@ impl Builder {
                 continue;
             }
             let current = self.legit_host.get(&domain).copied();
-            let old_provider = (0..self.providers.len())
-                .find(|p| Some(*p) != current && self.providers[*p].borrow().zones_for(&domain).is_empty());
+            let old_provider = (0..self.providers.len()).find(|p| {
+                Some(*p) != current && self.providers[*p].borrow().zones_for(&domain).is_empty()
+            });
             let Some(p_idx) = old_provider else { continue };
             let old_ip = Ipv4Addr::new(31, (j / 250) as u8, (j % 250) as u8, 10);
             self.db.add_prefix(
-                format!("31.{}.{}.0/24", j / 250, j % 250).parse().expect("cidr"),
+                format!("31.{}.{}.0/24", j / 250, j % 250)
+                    .parse()
+                    .expect("cidr"),
                 65_300,
                 "LegacyHost",
             );
@@ -608,7 +658,8 @@ impl Builder {
     /// Parked-page URs and benign-misconfiguration URs.
     fn plant_parked_and_misconfig(&mut self) {
         let parking_ip = Ipv4Addr::new(60, 0, 0, 10);
-        self.db.add_prefix("60.0.0.0/24".parse().expect("cidr"), 65_310, "ParkCo");
+        self.db
+            .add_prefix("60.0.0.0/24".parse().expect("cidr"), 65_310, "ParkCo");
         self.db.set_geo(parking_ip, GeoInfo::new("US", 30));
         self.db.set_http(parking_ip, HttpProfile::parking());
 
@@ -632,11 +683,14 @@ impl Builder {
             }
             let ip = Ipv4Addr::new(45, (j / 250) as u8, (j % 250) as u8, 10);
             self.db.add_prefix(
-                format!("45.{}.{}.0/24", j / 250, j % 250).parse().expect("cidr"),
+                format!("45.{}.{}.0/24", j / 250, j % 250)
+                    .parse()
+                    .expect("cidr"),
                 65_320 + (j as u32 % 5),
                 &format!("SmallBiz-{}", j % 5),
             );
-            self.db.set_geo(ip, GeoInfo::new(COUNTRIES[j % COUNTRIES.len()], 40));
+            self.db
+                .set_geo(ip, GeoInfo::new(COUNTRIES[j % COUNTRIES.len()], 40));
             self.db.set_http(ip, HttpProfile::normal("staging"));
             if let Some((p_idx, _zid)) = self.host_anywhere(&domain, |p, zid| {
                 p.add_record(zid, Record::new(domain.clone(), 600, RData::A(ip)));
@@ -682,10 +736,16 @@ impl Builder {
     fn build_oracle_ns(&mut self) {
         for j in 0..self.config.misconfigured_recursive_ns {
             let ip = Ipv4Addr::new(21, 0, 0, (j + 1) as u8);
-            self.net.add_node(ip, Box::new(OracleRecursiveNs::new(self.answer_map.clone())));
-            self.db.add_prefix("21.0.0.0/24".parse().expect("cidr"), 64_550, "MisconfDNS");
+            self.net.add_node(
+                ip,
+                Box::new(OracleRecursiveNs::new(self.answer_map.clone())),
+            );
+            self.db
+                .add_prefix("21.0.0.0/24".parse().expect("cidr"), 64_550, "MisconfDNS");
             self.db.set_geo(ip, GeoInfo::new("FR", 3));
-            let name: Name = format!("ns{}.misconf-dns.org", j + 1).parse().expect("parses");
+            let name: Name = format!("ns{}.misconf-dns.org", j + 1)
+                .parse()
+                .expect("parses");
             self.nameservers.push(NsInfo {
                 ip,
                 name,
@@ -710,25 +770,45 @@ impl Builder {
             .iter()
             .position(|m| m.name == "Namecheap")
             .expect("Namecheap present");
-        let csc = self.provider_meta.iter().position(|m| m.name == "CSC").expect("CSC present");
+        let csc = self
+            .provider_meta
+            .iter()
+            .position(|m| m.name == "CSC")
+            .expect("CSC present");
 
         // C2 infrastructure: 41.0.0.0/24 Dark.IoT, 41.0.1.0/24 Specter,
         // 41.0.2.0/24 SPF-SMTP (three addresses in one /24, as observed).
-        self.db.add_prefix("41.0.0.0/24".parse().expect("cidr"), 64_910, "BulletProof-DK");
-        self.db.add_prefix("41.0.1.0/24".parse().expect("cidr"), 64_911, "BulletProof-SP");
-        self.db.add_prefix("41.0.2.0/24".parse().expect("cidr"), 64_912, "BulletProof-Mail");
+        self.db.add_prefix(
+            "41.0.0.0/24".parse().expect("cidr"),
+            64_910,
+            "BulletProof-DK",
+        );
+        self.db.add_prefix(
+            "41.0.1.0/24".parse().expect("cidr"),
+            64_911,
+            "BulletProof-SP",
+        );
+        self.db.add_prefix(
+            "41.0.2.0/24".parse().expect("cidr"),
+            64_912,
+            "BulletProof-Mail",
+        );
         let dark_c2 = Ipv4Addr::new(41, 0, 0, 10);
         let specter_c2 = Ipv4Addr::new(41, 0, 1, 10);
-        let smtp_c2: Vec<Ipv4Addr> =
-            (0..3).map(|k| Ipv4Addr::new(41, 0, 2, 10 + k)).collect();
+        let smtp_c2: Vec<Ipv4Addr> = (0..3).map(|k| Ipv4Addr::new(41, 0, 2, 10 + k)).collect();
         for ip in [dark_c2, specter_c2].iter().chain(smtp_c2.iter()) {
             self.db.set_geo(*ip, GeoInfo::new("RU", 77));
         }
         // Live C2 endpoints so conversations complete.
-        self.net.add_node(dark_c2, Box::new(intel::C2ServerNode::new(b"darkiot-ack")));
-        self.net.add_node(specter_c2, Box::new(intel::C2ServerNode::new(b"specter-ack")));
+        self.net
+            .add_node(dark_c2, Box::new(intel::C2ServerNode::new(b"darkiot-ack")));
+        self.net.add_node(
+            specter_c2,
+            Box::new(intel::C2ServerNode::new(b"specter-ack")),
+        );
         for ip in &smtp_c2 {
-            self.net.add_node(*ip, Box::new(intel::C2ServerNode::new(b"250 OK")));
+            self.net
+                .add_node(*ip, Box::new(intel::C2ServerNode::new(b"250 OK")));
         }
 
         // Dark.IoT on ClouDNS: api.gitlab.com (2021 variants) and
@@ -751,7 +831,11 @@ impl Builder {
                 self.samples.push(malware::dark_iot(v, ns_ip, domain));
             }
             self.truth.case_studies.insert(
-                if domain == &gitlab_ur { "dark_iot_gitlab" } else { "dark_iot_pastebin" },
+                if domain == &gitlab_ur {
+                    "dark_iot_gitlab"
+                } else {
+                    "dark_iot_pastebin"
+                },
                 self.truth.campaigns.len(),
             );
             self.truth.campaigns.push(PlantedUr {
@@ -783,14 +867,21 @@ impl Builder {
         ] {
             let mut p = self.providers[cloudns].borrow_mut();
             let acct = p.create_account();
-            let zid = p.host_domain(acct, domain, class).expect("ClouDNS hosts case-study UR");
+            let zid = p
+                .host_domain(acct, domain, class)
+                .expect("ClouDNS hosts case-study UR");
             p.add_record(zid, Record::new(domain.clone(), 120, RData::A(specter_c2)));
             let ns_ip = p.serving_nameservers(zid)[0].1;
             drop(p);
-            for v in ["v1", "v2", "v3"].iter().take(if label == "specter_ibm" { 2 } else { 1 }) {
+            for v in ["v1", "v2", "v3"]
+                .iter()
+                .take(if label == "specter_ibm" { 2 } else { 1 })
+            {
                 self.samples.push(malware::specter(v, ns_ip, domain));
             }
-            self.truth.case_studies.insert(label, self.truth.campaigns.len());
+            self.truth
+                .case_studies
+                .insert(label, self.truth.campaigns.len());
             self.truth.campaigns.push(PlantedUr {
                 domain: domain.clone(),
                 provider: cloudns,
@@ -818,7 +909,10 @@ impl Builder {
             let zid = p
                 .host_domain(acct, &speedtest, DomainClass::RegisteredSld)
                 .expect("SPF case-study hosting accepted");
-            p.add_record(zid, Record::new(speedtest.clone(), 300, RData::txt_from_str(&spf_text)));
+            p.add_record(
+                zid,
+                Record::new(speedtest.clone(), 300, RData::txt_from_str(&spf_text)),
+            );
             let ns_ip = p.serving_nameservers(zid)[0].1;
             drop(p);
             if p_idx == namecheap {
@@ -829,7 +923,9 @@ impl Builder {
                     self.samples.push(malware::micropsia(i, ns_ip, &speedtest));
                 }
             }
-            self.truth.case_studies.insert(label, self.truth.campaigns.len());
+            self.truth
+                .case_studies
+                .insert(label, self.truth.campaigns.len());
             self.truth.campaigns.push(PlantedUr {
                 domain: speedtest.clone(),
                 provider: p_idx,
@@ -849,8 +945,11 @@ impl Builder {
     }
 
     fn plant_generic_campaigns(&mut self) {
-        let weights: Vec<u64> =
-            self.provider_meta.iter().map(|m| m.tail_hosted_sites as u64 + 1).collect();
+        let weights: Vec<u64> = self
+            .provider_meta
+            .iter()
+            .map(|m| m.tail_hosted_sites as u64 + 1)
+            .collect();
         let mut plan = AttackerPlan {
             rng: &mut self.rng,
             tranco: &self.tranco,
@@ -870,25 +969,33 @@ impl Builder {
     }
 
     fn build_resolvers(&mut self) {
-        self.db.add_prefix("50.0.0.0/8".parse().expect("cidr"), 64_700, "ResolverNets");
+        self.db
+            .add_prefix("50.0.0.0/8".parse().expect("cidr"), 64_700, "ResolverNets");
         let root = self.registry.root_ip();
         for i in 0..self.config.open_resolvers {
             let ip = Ipv4Addr::new(50, (i / 200) as u8, (i % 200) as u8, 53);
             let unstable = self.rng.random_bool(self.config.unstable_resolver_fraction);
-            let manipulated = self.rng.random_bool(self.config.manipulated_resolver_fraction);
+            let manipulated = self
+                .rng
+                .random_bool(self.config.manipulated_resolver_fraction);
             let mut node = RecursorNode::new(ip, root, self.config.seed ^ (i as u64) << 3);
             if unstable {
                 node = node.with_response_rate(0.55);
             }
             if manipulated {
-                node = node.with_manipulation(Manipulation::InjectA(Ipv4Addr::new(
-                    198, 51, 100, 66,
-                )));
+                node =
+                    node.with_manipulation(Manipulation::InjectA(Ipv4Addr::new(198, 51, 100, 66)));
             }
             self.net.add_node(ip, Box::new(node));
-            self.db
-                .set_geo(ip, GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], (i % 300) as u16));
-            self.resolvers.push(OpenResolverInfo { ip, stable: !unstable, manipulated });
+            self.db.set_geo(
+                ip,
+                GeoInfo::new(COUNTRIES[i % COUNTRIES.len()], (i % 300) as u16),
+            );
+            self.resolvers.push(OpenResolverInfo {
+                ip,
+                stable: !unstable,
+                manipulated,
+            });
         }
     }
 
@@ -896,10 +1003,15 @@ impl Builder {
     /// been registered.
     fn attach_tld_nodes(&mut self) {
         let root_zone = self.registry.build_root_zone();
-        self.net
-            .add_node(self.registry.root_ip(), Box::new(StaticZoneNode::single(root_zone)));
-        let tlds: Vec<(Name, Ipv4Addr)> =
-            self.registry.tlds().map(|(n, ip)| (n.clone(), ip)).collect();
+        self.net.add_node(
+            self.registry.root_ip(),
+            Box::new(StaticZoneNode::single(root_zone)),
+        );
+        let tlds: Vec<(Name, Ipv4Addr)> = self
+            .registry
+            .tlds()
+            .map(|(n, ip)| (n.clone(), ip))
+            .collect();
         for (tld, ip) in &tlds {
             let mut zone = self.registry.build_tld_zone(tld);
             // Parent suffix zones delegate their child suffixes (e.g. `cn`
@@ -907,11 +1019,16 @@ impl Builder {
             for (child, child_ip) in &tlds {
                 if child.is_strict_subdomain_of(tld) {
                     let ns_name = child.child(b"a-ns").expect("child fits");
-                    zone.add(Record::new(child.clone(), 86_400, RData::Ns(ns_name.clone())));
+                    zone.add(Record::new(
+                        child.clone(),
+                        86_400,
+                        RData::Ns(ns_name.clone()),
+                    ));
                     zone.add(Record::new(ns_name, 86_400, RData::A(*child_ip)));
                 }
             }
-            self.net.add_node(*ip, Box::new(StaticZoneNode::single(zone)));
+            self.net
+                .add_node(*ip, Box::new(StaticZoneNode::single(zone)));
         }
     }
 }
@@ -966,7 +1083,11 @@ mod tests {
             "spf_namecheap",
             "spf_csc",
         ] {
-            let idx = *w.truth.case_studies.get(key).unwrap_or_else(|| panic!("{key} missing"));
+            let idx = *w
+                .truth
+                .case_studies
+                .get(key)
+                .unwrap_or_else(|| panic!("{key} missing"));
             let c = &w.truth.campaigns[idx];
             assert!(!c.c2_ips.is_empty());
         }
@@ -983,7 +1104,12 @@ mod tests {
     #[test]
     fn resolution_works_end_to_end_in_world() {
         let mut w = World::generate(WorldConfig::small());
-        let resolver = w.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
+        let resolver = w
+            .resolvers
+            .iter()
+            .find(|r| r.stable && !r.manipulated)
+            .unwrap()
+            .ip;
         let domain = w.tranco.domains()[0].clone();
         let resp = authdns::dns_query(
             &mut w.net,
@@ -995,7 +1121,10 @@ mod tests {
         )
         .expect("resolution completes");
         assert_eq!(resp.rcode(), dnswire::Rcode::NoError);
-        assert!(!resp.answers.is_empty(), "top domain must resolve: {domain}");
+        assert!(
+            !resp.answers.is_empty(),
+            "top domain must resolve: {domain}"
+        );
     }
 
     #[test]

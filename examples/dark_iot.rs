@@ -21,11 +21,30 @@ fn main() {
 
     // 1. The normal path: ask an honest open resolver. The gitlab.com zone
     //    is delegated to its real operator, which has no `api` record here.
-    let resolver = world.resolvers.iter().find(|r| r.stable && !r.manipulated).unwrap().ip;
-    let normal = authdns::dns_query(&mut world.net, client, resolver, &gitlab_ur, RecordType::A, 1)
-        .expect("resolver answers");
-    println!("normal resolution of {gitlab_ur} via {resolver}: {}", normal.rcode());
-    assert_ne!(normal.rcode(), Rcode::NoError, "the UR must be invisible on the normal path");
+    let resolver = world
+        .resolvers
+        .iter()
+        .find(|r| r.stable && !r.manipulated)
+        .unwrap()
+        .ip;
+    let normal = authdns::dns_query(
+        &mut world.net,
+        client,
+        resolver,
+        &gitlab_ur,
+        RecordType::A,
+        1,
+    )
+    .expect("resolver answers");
+    println!(
+        "normal resolution of {gitlab_ur} via {resolver}: {}",
+        normal.rcode()
+    );
+    assert_ne!(
+        normal.rcode(),
+        Rcode::NoError,
+        "the UR must be invisible on the normal path"
+    );
 
     // 2. The covert path: the malware asks ClouDNS's nameserver directly.
     let dark = &world.truth.campaigns[world.truth.case_studies["dark_iot_gitlab"]];
@@ -35,7 +54,11 @@ fn main() {
     println!(
         "direct query to ClouDNS NS {ns_ip}: {} -> {:?}",
         covert.rcode(),
-        covert.answers.iter().map(|r| r.rdata.to_string()).collect::<Vec<_>>()
+        covert
+            .answers
+            .iter()
+            .map(|r| r.rdata.to_string())
+            .collect::<Vec<_>>()
     );
     assert_eq!(covert.rcode(), Rcode::NoError);
 
@@ -64,7 +87,10 @@ fn main() {
         );
         for alert in &report.alerts {
             if alert.severity >= Severity::Medium {
-                println!("    IDS: [{:?}] {} -> {}", alert.severity, alert.msg, alert.dst);
+                println!(
+                    "    IDS: [{:?}] {} -> {}",
+                    alert.severity, alert.msg, alert.dst
+                );
             }
         }
     }
@@ -72,10 +98,8 @@ fn main() {
     // 4. The operator-side defense (§6): direct-to-authoritative DNS from
     //    an internal client is the UR retrieval path, and it is visible
     //    regardless of the provider's reputation.
-    let monitor = urhunter::EgressMonitor::new(
-        [world.sandbox.resolver_ip].into_iter().collect(),
-        vec![10],
-    );
+    let monitor =
+        urhunter::EgressMonitor::new([world.sandbox.resolver_ip].into_iter().collect(), vec![10]);
     let bypasses = monitor.scan(world.net.trace.records());
     println!("\n== egress monitor (network operator's view) ==");
     for b in bypasses.iter().take(5) {

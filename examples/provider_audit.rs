@@ -37,21 +37,34 @@ fn main() {
     let (ns_ip, _zid) = {
         let mut p = world.providers[tencent].borrow_mut();
         let attacker = p.create_account();
-        let zid = p.host_domain(attacker, &victim, DomainClass::RegisteredSld).unwrap();
-        p.add_record(zid, Record::new(victim.clone(), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))));
+        let zid = p
+            .host_domain(attacker, &victim, DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            zid,
+            Record::new(victim.clone(), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))),
+        );
         (p.serving_nameservers(zid)[0].1, zid)
     };
     let client = Ipv4Addr::new(10, 50, 0, 3);
     let before =
         authdns::dns_query(&mut world.net, client, ns_ip, &victim, RecordType::A, 1).unwrap();
-    println!("before mitigation: attacker UR for {victim} resolves with {}", before.rcode());
+    println!(
+        "before mitigation: attacker UR for {victim} resolves with {}",
+        before.rcode()
+    );
     assert_eq!(before.rcode(), Rcode::NoError);
 
-    world.providers[tencent].borrow_mut().policy_mut().verification =
-        VerificationPolicy::NsDelegation;
+    world.providers[tencent]
+        .borrow_mut()
+        .policy_mut()
+        .verification = VerificationPolicy::NsDelegation;
     let after =
         authdns::dns_query(&mut world.net, client, ns_ip, &victim, RecordType::A, 2).unwrap();
-    println!("after mitigation:  attacker UR for {victim} resolves with {}", after.rcode());
+    println!(
+        "after mitigation:  attacker UR for {victim} resolves with {}",
+        after.rcode()
+    );
     assert_ne!(after.rcode(), Rcode::NoError);
 
     // Cloudflare expands its reserved list.
@@ -60,12 +73,20 @@ fn main() {
     world.providers[cf].borrow_mut().policy_mut().reserved = world.tranco.top(20).to_vec();
     let mut p = world.providers[cf].borrow_mut();
     let attacker = p.create_account();
-    let blocked = p.host_domain(attacker, &world.tranco.domains()[0].clone(), DomainClass::RegisteredSld);
+    let blocked = p.host_domain(
+        attacker,
+        &world.tranco.domains()[0].clone(),
+        DomainClass::RegisteredSld,
+    );
     println!("hosting top-1 domain: {blocked:?}");
     let lesser = world.tranco.domains()[40].clone();
     let allowed = p.host_domain(attacker, &lesser, DomainClass::RegisteredSld);
     println!(
         "hosting rank-41 domain {lesser}: {} — \"still exploitable, but fewer renowned domains\"",
-        if allowed.is_ok() { "accepted" } else { "rejected" }
+        if allowed.is_ok() {
+            "accepted"
+        } else {
+            "rejected"
+        }
     );
 }

@@ -33,12 +33,22 @@ fn main() {
     for (provider, ns_name, ns_ip) in &serving {
         println!("  {provider:<10} {ns_name} ({ns_ip})");
     }
-    println!("  total: {} nameservers across 2 providers (paper: 11)\n", serving.len());
+    println!(
+        "  total: {} nameservers across 2 providers (paper: 11)\n",
+        serving.len()
+    );
 
     // Query one of them for the TXT record and parse the SPF mechanisms.
     let (_, _, ns_ip) = serving[0].clone();
-    let resp = authdns::dns_query(&mut world.net, client, ns_ip, &speedtest, RecordType::Txt, 7)
-        .expect("provider answers");
+    let resp = authdns::dns_query(
+        &mut world.net,
+        client,
+        ns_ip,
+        &speedtest,
+        RecordType::Txt,
+        7,
+    )
+    .expect("provider answers");
     let text = resp.answers[0].rdata.txt_joined().unwrap();
     let ips = extract_ipv4s(&text);
     println!("TXT UR: \"{text}\"");
@@ -67,14 +77,25 @@ fn main() {
     let mut total_alerts = 0;
     for sample in &samples {
         let report = sandbox.run(&mut world.net, &ids, sample);
-        let smtp_flows =
-            report.flows.iter().filter(|f| f.proto == Proto::Tcp && f.dst.port == 25).count();
-        let high = report.alerts.iter().filter(|a| a.severity == Severity::High).count();
+        let smtp_flows = report
+            .flows
+            .iter()
+            .filter(|f| f.proto == Proto::Tcp && f.dst.port == 25)
+            .count();
+        let high = report
+            .alerts
+            .iter()
+            .filter(|a| a.severity == Severity::High)
+            .count();
         total_alerts += report.alerts.len();
         println!(
             "  {:<24} smtp-flows={} high-risk-alerts={}",
             report.sample, smtp_flows, high
         );
     }
-    println!("  {} samples, {} alerts total (paper: 6 samples, 16 alerts)", samples.len(), total_alerts);
+    println!(
+        "  {} samples, {} alerts total (paper: 6 samples, 16 alerts)",
+        samples.len(),
+        total_alerts
+    );
 }

@@ -43,12 +43,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Name a case after its parameter only.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 
     /// Name a case with a function name and parameter.
     pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -89,8 +93,16 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-fn run_one(full_name: &str, sample_budget: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { samples: Vec::new(), sample_budget };
+fn run_one(
+    full_name: &str,
+    sample_budget: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_budget,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{full_name:<40} (no samples)");

@@ -102,10 +102,14 @@ pub mod string {
                 let v = s.generate(&mut rng);
                 assert!(!v.is_empty() && v.len() <= 16, "bad length: {v:?}");
                 assert!(
-                    v.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+                    v.bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
                     "bad char in {v:?}"
                 );
-                assert!(!v.starts_with('-') && !v.ends_with('-'), "edge dash in {v:?}");
+                assert!(
+                    !v.starts_with('-') && !v.ends_with('-'),
+                    "edge dash in {v:?}"
+                );
             }
         }
 
@@ -144,13 +148,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -168,7 +178,10 @@ pub mod collection {
 
     /// Generate vectors of `element` values.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -193,7 +206,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -248,15 +264,13 @@ macro_rules! prop_assert_eq {
         let l = $left;
         let r = $right;
         if l != r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    l,
-                    r
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
         }
     }};
 }
@@ -268,14 +282,12 @@ macro_rules! prop_assert_ne {
         let l = $left;
         let r = $right;
         if l == r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "prop_assert_ne!({}, {}) failed: both {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    l
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_ne!({}, {}) failed: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
         }
     }};
 }

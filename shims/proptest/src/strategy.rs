@@ -111,7 +111,9 @@ pub struct Any<T> {
 
 /// The full-range strategy for `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: core::marker::PhantomData }
+    Any {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {
@@ -210,7 +212,7 @@ impl Strategy for &'static str {
 #[derive(Debug, Clone)]
 enum Node {
     Literal(char),
-    Class(Vec<(char, char)>), // inclusive ranges
+    Class(Vec<(char, char)>),        // inclusive ranges
     Group(Vec<Vec<(Node, Repeat)>>), // alternatives, each a sequence
 }
 
@@ -365,11 +367,17 @@ fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<Repeat, String> {
         }
         '*' => {
             *pos += 1;
-            Ok(Repeat { min: 0, max: UNBOUNDED_CAP })
+            Ok(Repeat {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            })
         }
         '+' => {
             *pos += 1;
-            Ok(Repeat { min: 1, max: UNBOUNDED_CAP })
+            Ok(Repeat {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            })
         }
         '{' => {
             let close = chars[*pos..]
@@ -406,7 +414,10 @@ fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
     match node {
         Node::Literal(c) => out.push(*c),
         Node::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let mut pick = (rng.next_u64() % total as u64) as u32;
             for (lo, hi) in ranges {
                 let span = *hi as u32 - *lo as u32 + 1;

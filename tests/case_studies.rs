@@ -141,7 +141,10 @@ fn smtp_covert_channel_visible_in_sandbox_traffic() {
             .count();
     }
     assert!(port25_flows >= 4, "Tesla samples must emit SMTP flows");
-    assert!(high_alerts >= 4, "IDS flags the covert channel as high-risk");
+    assert!(
+        high_alerts >= 4,
+        "IDS flags the covert channel as high-risk"
+    );
 }
 
 #[test]
@@ -152,7 +155,10 @@ fn email_related_share_of_malicious_txt_is_high() {
     let (email, total) = out.report.txt_email_related;
     assert!(total > 0, "no malicious TXT URs at all");
     let share = email as f64 / total as f64;
-    assert!(share >= 0.5, "email-related share {share:.2} too low vs paper's 0.91");
+    assert!(
+        share >= 0.5,
+        "email-related share {share:.2} too low vs paper's 0.91"
+    );
 }
 
 #[test]

@@ -29,8 +29,7 @@ fn detectable_campaign_urs_are_found_malicious() {
     // Every campaign whose zone is actually reachable from a selected NS
     // and whose detection class is not Undetected must yield at least one
     // malicious UR for its domain.
-    let selected: std::collections::HashSet<_> =
-        out.nameservers.iter().map(|n| n.ip).collect();
+    let selected: std::collections::HashSet<_> = out.nameservers.iter().map(|n| n.ip).collect();
     let targets: std::collections::HashSet<_> = world.scan_targets().into_iter().collect();
     let mut checked = 0;
     for c in &world.truth.campaigns {
@@ -61,9 +60,16 @@ fn detectable_campaign_urs_are_found_malicious() {
                 && u.category == UrCategory::Malicious
                 && u.corresponding_ips.iter().any(|ip| c.c2_ips.contains(ip))
         });
-        assert!(found, "campaign on {} ({:?}) not detected", c.domain, c.detection);
+        assert!(
+            found,
+            "campaign on {} ({:?}) not detected",
+            c.domain, c.detection
+        );
     }
-    assert!(checked >= 5, "too few detectable campaigns checked ({checked})");
+    assert!(
+        checked >= 5,
+        "too few detectable campaigns checked ({checked})"
+    );
 }
 
 #[test]
@@ -73,7 +79,11 @@ fn undetected_campaigns_remain_unknown_not_malicious() {
         if c.detection != DetectionClass::Undetected {
             continue;
         }
-        for u in out.classified.iter().filter(|u| u.ur.key.domain == c.domain) {
+        for u in out
+            .classified
+            .iter()
+            .filter(|u| u.ur.key.domain == c.domain)
+        {
             if u.corresponding_ips.iter().any(|ip| c.c2_ips.contains(ip)) {
                 assert_ne!(
                     u.category,
@@ -94,11 +104,18 @@ fn parked_urs_are_excluded_as_correct() {
     for u in &out.classified {
         if u.ur.key.rtype == RecordType::A && u.ur.a_ips().contains(&parking_ip) {
             seen += 1;
-            assert_eq!(u.category, UrCategory::Correct, "parked UR must be excluded");
+            assert_eq!(
+                u.category,
+                UrCategory::Correct,
+                "parked UR must be excluded"
+            );
             assert_eq!(u.correct_reason, Some(urhunter::CorrectReason::Parked));
         }
     }
-    assert!(seen > 0 || world.truth.parked.is_empty(), "no parked URs observed");
+    assert!(
+        seen > 0 || world.truth.parked.is_empty(),
+        "no parked URs observed"
+    );
 }
 
 #[test]
@@ -200,9 +217,18 @@ fn malicious_share_of_suspicious_is_in_paper_band() {
 fn evidence_mix_has_all_three_classes() {
     let (_world, out) = small_run();
     let hist = urhunter::evidence_histogram(&out.analysis);
-    assert!(hist.get("vendor-only").copied().unwrap_or(0) > 0, "no vendor-only IPs");
-    assert!(hist.get("ids-only").copied().unwrap_or(0) > 0, "no ids-only IPs");
-    assert!(hist.get("both").copied().unwrap_or(0) > 0, "no both-signal IPs");
+    assert!(
+        hist.get("vendor-only").copied().unwrap_or(0) > 0,
+        "no vendor-only IPs"
+    );
+    assert!(
+        hist.get("ids-only").copied().unwrap_or(0) > 0,
+        "no ids-only IPs"
+    );
+    assert!(
+        hist.get("both").copied().unwrap_or(0) > 0,
+        "no both-signal IPs"
+    );
 }
 
 #[test]

@@ -11,8 +11,14 @@ fn evolution_expires_and_plants_campaigns() {
     let mut world = World::generate(WorldConfig::small());
     let before = world.truth.campaigns.len();
     world.evolve(240, 30, 0.4, 7);
-    assert!(world.truth.campaigns.len() >= before + 20, "new campaigns planted");
-    assert!(!world.truth.expired_campaigns.is_empty(), "some campaigns expired");
+    assert!(
+        world.truth.campaigns.len() >= before + 20,
+        "new campaigns planted"
+    );
+    assert!(
+        !world.truth.expired_campaigns.is_empty(),
+        "some campaigns expired"
+    );
     // Case studies survive ("the masquerading records can still be
     // resolved at the time of writing").
     for idx in world.truth.case_studies.values() {
@@ -28,9 +34,8 @@ fn expired_urs_disappear_from_the_second_epoch() {
     world.evolve(240, 25, 0.5, 11);
     let epoch2 = run(&mut world, &HunterConfig::fast());
 
-    let key = |u: &urhunter::ClassifiedUr| {
-        (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype)
-    };
+    let key =
+        |u: &urhunter::ClassifiedUr| (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype);
     let suspicious = |out: &urhunter::RunOutput| {
         out.classified
             .iter()
@@ -48,7 +53,9 @@ fn expired_urs_disappear_from_the_second_epoch() {
     // Expired campaigns' domains no longer answer from their old zones.
     for &idx in &world.truth.expired_campaigns {
         let c = &world.truth.campaigns[idx];
-        let serving = world.providers[c.provider].borrow().serving_nameservers(c.zone);
+        let serving = world.providers[c.provider]
+            .borrow()
+            .serving_nameservers(c.zone);
         assert!(serving.is_empty(), "expired zone still served");
     }
 }

@@ -60,8 +60,11 @@ fn malicious_mx_campaigns_are_detected() {
     // The small world plants few MX campaigns; larger seeds cover more.
     // If none were planted/visible the test is vacuous — detect that.
     if mx_campaigns_checked == 0 {
-        let any_mx_campaign =
-            world.truth.campaigns.iter().any(|c| c.rtypes.contains(&RecordType::Mx));
+        let any_mx_campaign = world
+            .truth
+            .campaigns
+            .iter()
+            .any(|c| c.rtypes.contains(&RecordType::Mx));
         assert!(any_mx_campaign, "world planted no MX campaigns at all");
     }
 }
@@ -76,7 +79,10 @@ fn legitimate_mx_records_are_excluded_as_correct() {
         .iter()
         .filter(|u| u.ur.key.rtype == RecordType::Mx && u.category == UrCategory::Correct)
         .count();
-    assert!(correct_mx > 0, "no legit MX UR was excluded (none observed?)");
+    assert!(
+        correct_mx > 0,
+        "no legit MX UR was excluded (none observed?)"
+    );
 }
 
 #[test]
@@ -84,9 +90,11 @@ fn zero_false_negatives_holds_with_mx() {
     let mut world = World::generate(WorldConfig::small());
     let cfg = HunterConfig::extended();
     let out = run(&mut world, &cfg);
-    let fn_count =
-        evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
-    assert_eq!(fn_count, 0, "delegated A/TXT/MX records must never be suspicious");
+    let fn_count = evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
+    assert_eq!(
+        fn_count, 0,
+        "delegated A/TXT/MX records must never be suspicious"
+    );
 }
 
 #[test]

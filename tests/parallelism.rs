@@ -21,7 +21,10 @@ fn pipeline_output_identical_across_worker_counts() {
         );
         assert_eq!(out.classified.len(), baseline.classified.len());
         for (a, b) in out.classified.iter().zip(baseline.classified.iter()) {
-            assert_eq!(a.ur.key, b.ur.key, "UR order diverges at parallelism={workers}");
+            assert_eq!(
+                a.ur.key, b.ur.key,
+                "UR order diverges at parallelism={workers}"
+            );
             assert_eq!(a.category, b.category);
             assert_eq!(a.correct_reason, b.correct_reason);
             assert_eq!(a.corresponding_ips, b.corresponding_ips);

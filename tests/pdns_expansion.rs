@@ -60,7 +60,10 @@ fn expansion_catches_subdomain_campaigns_on_known_labels() {
         .into_iter()
         .find(|s| s.labels().next() == Some(b"mail".as_slice()))
         .unwrap_or_else(|| {
-            world.pdns.subdomains_of(&apex, world.config.today, pdns::SIX_YEARS_DAYS)[0].clone()
+            world
+                .pdns
+                .subdomains_of(&apex, world.config.today, pdns::SIX_YEARS_DAYS)[0]
+                .clone()
         });
     // Plant the campaign at ClouDNS with a vendor-flagged C2.
     let c2: std::net::Ipv4Addr = "40.250.0.10".parse().unwrap();
@@ -71,13 +74,19 @@ fn expansion_catches_subdomain_campaigns_on_known_labels() {
         let zid = p
             .host_domain(attacker, &target, authdns::DomainClass::Subdomain)
             .expect("ClouDNS hosts subdomains");
-        p.add_record(zid, dnswire::Record::new(target.clone(), 60, dnswire::RData::A(c2)));
+        p.add_record(
+            zid,
+            dnswire::Record::new(target.clone(), 60, dnswire::RData::A(c2)),
+        );
     }
-    world.intel.vendor_mut("SimVT").unwrap().flag(c2, intel::ThreatTag::Trojan);
+    world
+        .intel
+        .vendor_mut("SimVT")
+        .unwrap()
+        .flag(c2, intel::ThreatTag::Trojan);
 
     // Apex-only scan misses it; expanded scan finds it malicious.
-    let apex_targets: std::collections::HashSet<_> =
-        world.scan_targets().into_iter().collect();
+    let apex_targets: std::collections::HashSet<_> = world.scan_targets().into_iter().collect();
     assert!(!apex_targets.contains(&target));
     let out = run(&mut world, &HunterConfig::fast().with_pdns_expansion());
     let found = out.classified.iter().any(|u| {
@@ -104,8 +113,16 @@ fn legitimate_subdomain_urs_stay_correct() {
         {
             // Only attacker-planted ones may be suspicious; verify it
             // really is attacker infrastructure.
-            let is_planted = world.truth.campaigns.iter().any(|c| c.domain == u.ur.key.domain);
-            assert!(is_planted, "legit subdomain {} wrongly suspicious", u.ur.key.domain);
+            let is_planted = world
+                .truth
+                .campaigns
+                .iter()
+                .any(|c| c.domain == u.ur.key.domain);
+            assert!(
+                is_planted,
+                "legit subdomain {} wrongly suspicious",
+                u.ur.key.domain
+            );
         }
     }
 }
@@ -115,11 +132,7 @@ fn zero_false_negatives_with_expansion() {
     let mut world = World::generate(WorldConfig::small());
     let cfg = HunterConfig::fast().with_pdns_expansion();
     let out = run(&mut world, &cfg);
-    let fn_count = urhunter::evaluate_false_negatives(
-        &mut world,
-        &out.correct_db,
-        &out.protective_db,
-        &cfg,
-    );
+    let fn_count =
+        urhunter::evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
     assert_eq!(fn_count, 0);
 }

@@ -52,21 +52,34 @@ fn ns_delegation_verification_kills_urs() {
     let (zid, ns_ip) = {
         let mut p = world.providers[tencent].borrow_mut();
         let attacker = p.create_account();
-        let zid = p.host_domain(attacker, &victim, DomainClass::RegisteredSld).unwrap();
-        p.add_record(zid, Record::new(victim.clone(), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))));
+        let zid = p
+            .host_domain(attacker, &victim, DomainClass::RegisteredSld)
+            .unwrap();
+        p.add_record(
+            zid,
+            Record::new(victim.clone(), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))),
+        );
         let ns = p.serving_nameservers(zid)[0].1;
         (zid, ns)
     };
     // Pre-mitigation: the UR resolves.
-    let resp =
-        authdns::dns_query(&mut world.net, Ipv4Addr::new(10, 0, 1, 1), ns_ip, &victim, RecordType::A, 1)
-            .unwrap();
+    let resp = authdns::dns_query(
+        &mut world.net,
+        Ipv4Addr::new(10, 0, 1, 1),
+        ns_ip,
+        &victim,
+        RecordType::A,
+        1,
+    )
+    .unwrap();
     assert_eq!(resp.rcode(), Rcode::NoError);
     assert!(!resp.answers.is_empty());
 
     // Disclosure: the provider turns on delegation verification.
-    world.providers[tencent].borrow_mut().policy_mut().verification =
-        VerificationPolicy::NsDelegation;
+    world.providers[tencent]
+        .borrow_mut()
+        .policy_mut()
+        .verification = VerificationPolicy::NsDelegation;
 
     // The attacker cannot pass verification: the TLD delegation for the
     // victim domain does not point at the assigned servers.
@@ -78,16 +91,32 @@ fn ns_delegation_verification_kills_urs() {
     assert!(!delegated_to_assigned);
 
     // Unverified zone is no longer served.
-    let resp2 =
-        authdns::dns_query(&mut world.net, Ipv4Addr::new(10, 0, 1, 1), ns_ip, &victim, RecordType::A, 2)
-            .unwrap();
-    assert_ne!(resp2.rcode(), Rcode::NoError, "UR must stop resolving after mitigation");
+    let resp2 = authdns::dns_query(
+        &mut world.net,
+        Ipv4Addr::new(10, 0, 1, 1),
+        ns_ip,
+        &victim,
+        RecordType::A,
+        2,
+    )
+    .unwrap();
+    assert_ne!(
+        resp2.rcode(),
+        Rcode::NoError,
+        "UR must stop resolving after mitigation"
+    );
 
     // A zone that passes verification is served again.
     world.providers[tencent].borrow_mut().set_verified(zid);
-    let resp3 =
-        authdns::dns_query(&mut world.net, Ipv4Addr::new(10, 0, 1, 1), ns_ip, &victim, RecordType::A, 3)
-            .unwrap();
+    let resp3 = authdns::dns_query(
+        &mut world.net,
+        Ipv4Addr::new(10, 0, 1, 1),
+        ns_ip,
+        &victim,
+        RecordType::A,
+        3,
+    )
+    .unwrap();
     assert_eq!(resp3.rcode(), Rcode::NoError);
 }
 
@@ -167,13 +196,21 @@ fn government_etld_urs_are_possible_and_detected() {
     {
         let mut p = world.providers[cloudns].borrow_mut();
         let attacker = p.create_account();
-        let zid = p.host_domain(attacker, &gov, DomainClass::Etld).expect("eTLD accepted");
+        let zid = p
+            .host_domain(attacker, &gov, DomainClass::Etld)
+            .expect("eTLD accepted");
         p.add_record(zid, Record::new(gov.clone(), 60, RData::A(c2)));
     }
     let ns_ip = world.providers[cloudns].borrow().nameservers()[0].1;
-    let resp =
-        authdns::dns_query(&mut world.net, Ipv4Addr::new(10, 0, 1, 2), ns_ip, &gov, RecordType::A, 9)
-            .unwrap();
+    let resp = authdns::dns_query(
+        &mut world.net,
+        Ipv4Addr::new(10, 0, 1, 2),
+        ns_ip,
+        &gov,
+        RecordType::A,
+        9,
+    )
+    .unwrap();
     assert_eq!(resp.rcode(), Rcode::NoError);
     assert_eq!(resp.answers[0].rdata.as_a().unwrap(), c2);
 }
@@ -210,7 +247,10 @@ fn cross_user_duplicate_coexists_with_owner() {
     // The paper: "it ensured the assigned nameservers to the same domain
     // were different across multiple users" — different sets (so each
     // zone's answers stay distinguishable), not necessarily disjoint.
-    assert_ne!(squat_ns, legit_ns, "attacker and owner must get different NS sets");
+    assert_ne!(
+        squat_ns, legit_ns,
+        "attacker and owner must get different NS sets"
+    );
 }
 
 /// After the full pipeline, URs planted at account-fixed providers are
@@ -222,8 +262,7 @@ fn provider_attribution_in_report() {
     for u in &out.classified {
         if u.category == UrCategory::Malicious {
             assert!(
-                world.provider_index(&u.ur.provider).is_some()
-                    || u.ur.provider == "MisconfDNS",
+                world.provider_index(&u.ur.provider).is_some() || u.ur.provider == "MisconfDNS",
                 "malicious UR attributed to unknown provider {}",
                 u.ur.provider
             );

@@ -1,0 +1,99 @@
+//! The streaming stage-overlapped pipeline must be invisible in the
+//! results: for every batch size and worker count, the stream path
+//! produces bit-identical per-UR classifications, analysis evidence, and
+//! report tables to the legacy strict-batch path.
+
+use urhunter::{classified_sequence_hash, run, HunterConfig, RunOutput};
+use worldgen::{World, WorldConfig};
+
+fn run_with(cfg: HunterConfig) -> RunOutput {
+    let mut world = World::generate(WorldConfig::small());
+    run(&mut world, &cfg)
+}
+
+/// Everything the equivalence contract covers, in one comparable bundle.
+fn signature(out: &RunOutput) -> (u64, urhunter::Totals, usize, String, String, String) {
+    (
+        classified_sequence_hash(&out.classified),
+        out.report.totals,
+        out.analysis.evidence.len(),
+        out.report.render_table1(),
+        out.report.render_figure2(10),
+        out.report.render_figure3(),
+    )
+}
+
+#[test]
+fn stream_path_is_bit_identical_to_batch_path() {
+    let baseline = run_with(HunterConfig::fast().with_parallelism(1));
+    let base_sig = signature(&baseline);
+    assert!(
+        baseline.report.totals.total > 0,
+        "baseline collected nothing"
+    );
+
+    for parallelism in [1usize, 4] {
+        for batch in [1usize, 7, 64, usize::MAX] {
+            let out = run_with(
+                HunterConfig::fast()
+                    .with_parallelism(parallelism)
+                    .with_stream_batch_size(batch),
+            );
+            assert_eq!(
+                signature(&out),
+                base_sig,
+                "stream path diverges at batch={batch} parallelism={parallelism}"
+            );
+            // Raw retention is on by default, so the collected sets must
+            // agree too (same URs, same order).
+            assert_eq!(out.collected.len(), baseline.collected.len());
+        }
+    }
+}
+
+#[test]
+fn streaming_without_raw_retention_matches_and_drops_collected() {
+    let baseline = run_with(HunterConfig::fast().with_parallelism(1));
+    let out = run_with(
+        HunterConfig::fast()
+            .with_parallelism(4)
+            .with_stream_batch_size(16)
+            .with_keep_raw_collected(false),
+    );
+    assert_eq!(signature(&out), signature(&baseline));
+    assert!(
+        out.collected.is_empty(),
+        "raw URs retained despite keep_raw_collected=false"
+    );
+    // The classified set still embeds every collected record.
+    assert_eq!(out.classified.len(), baseline.collected.len());
+}
+
+#[test]
+fn legacy_path_without_raw_retention_drops_collected() {
+    let out = run_with(HunterConfig::fast().with_keep_raw_collected(false));
+    assert!(out.collected.is_empty());
+    assert!(out.report.totals.total > 0);
+}
+
+#[test]
+fn streaming_composes_with_extended_and_ethics_modes() {
+    // MX extension: follow-up probes interleave with batching.
+    let batch_ext = {
+        let mut cfg = HunterConfig::extended().with_parallelism(1);
+        cfg.analyze.match_txt_payloads = false;
+        run_with(cfg)
+    };
+    let stream_ext = run_with(
+        HunterConfig::extended()
+            .with_parallelism(4)
+            .with_stream_batch_size(5),
+    );
+    assert_eq!(signature(&stream_ext), signature(&batch_ext));
+
+    // Ethics pacing: the scheduler advances simulated time between probes
+    // of the same server; batching must not change what is collected.
+    let batch_paced = run_with(HunterConfig::paper_faithful());
+    let stream_paced = run_with(HunterConfig::paper_faithful().with_stream_batch_size(3));
+    assert_eq!(signature(&stream_paced), signature(&batch_paced));
+}

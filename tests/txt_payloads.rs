@@ -15,8 +15,7 @@ fn blob_world() -> World {
 }
 
 fn is_blob_text(u: &urhunter::ClassifiedUr) -> bool {
-    u.ur
-        .txt_strings()
+    u.ur.txt_strings()
         .iter()
         .any(|t| t.starts_with("dkt;") || t.starts_with("sp3c;") || t.starts_with("cmd64="))
 }
@@ -102,7 +101,11 @@ fn payload_matching_never_touches_benign_txt() {
                 .campaigns
                 .iter()
                 .any(|c| c.command_blob && c.domain == u.ur.key.domain);
-            assert!(planted, "{} matched family {family} but is not a planted blob", u.ur.key.domain);
+            assert!(
+                planted,
+                "{} matched family {family} but is not a planted blob",
+                u.ur.key.domain
+            );
         }
     }
     // The legit SPF/DMARC TXT population must be unaffected.

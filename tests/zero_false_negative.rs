@@ -28,7 +28,10 @@ fn disabling_all_conditions_breaks_the_guarantee() {
     cfg.classify.use_pdns = false;
     cfg.classify.use_http_exclusion = false;
     let fn_count = evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
-    assert!(fn_count > 0, "ablated classifier must mislabel delegated records");
+    assert!(
+        fn_count > 0,
+        "ablated classifier must mislabel delegated records"
+    );
 }
 
 #[test]
