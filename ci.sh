@@ -20,10 +20,20 @@ cargo clippy --all-targets -- -D warnings
 echo "== smoke: cargo run -p bench --bin table1 =="
 cargo run --release -p bench --bin table1
 
+echo "== fault matrix: cargo test --release --test fault_tolerance =="
+cargo test -q --release --test fault_tolerance
+cargo test -q --release --test fault_tolerance -- --ignored
+
 echo "== smoke: cargo run -p bench --bin perf_snapshot =="
 cargo run --release -p bench --bin perf_snapshot
 grep -q '"pipeline_stream_ms"' BENCH_pipeline.json || {
     echo "ci.sh: BENCH_pipeline.json is missing pipeline_stream_ms" >&2
+    exit 1
+}
+# The reliable benchmark run must answer every probe: a non-zero gave_up
+# count means the collection path silently lost coverage.
+grep -q '"gave_up": 0,' BENCH_pipeline.json || {
+    echo "ci.sh: reliable perf_snapshot run gave up probes" >&2
     exit 1
 }
 

@@ -28,7 +28,7 @@ pub use policy::{DomainClass, DuplicatePolicy, HostingPolicy, NsAllocation, Veri
 pub use provider::{AccountId, HostError, HostedZone, HostingProvider, ProviderAnswer, ZoneId};
 pub use roots::DelegationRegistry;
 pub use server::{
-    dns_query, zone_answer_to_message, AnswerMap, OracleRecursiveNs, ProviderNsNode,
-    StaticZoneNode, DNS_PORT,
+    dns_query, dns_query_with_timeout, zone_answer_to_message, AnswerMap, OracleRecursiveNs,
+    ProviderNsNode, StaticZoneNode, DNS_PORT,
 };
 pub use zone::{Zone, ZoneAnswer};

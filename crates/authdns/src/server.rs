@@ -257,6 +257,31 @@ pub fn dns_query(
     qtype: RecordType,
     id: u16,
 ) -> Option<Message> {
+    dns_query_with_timeout(
+        net,
+        client_ip,
+        server_ip,
+        qname,
+        qtype,
+        id,
+        simnet::SimDuration::from_secs(5),
+    )
+}
+
+/// [`dns_query`] with an explicit per-attempt timeout, used by retrying
+/// callers that want to wait less than the stub default before giving the
+/// attempt up. The timeout applies to the UDP exchange and again to the TCP
+/// fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn dns_query_with_timeout(
+    net: &mut simnet::Network,
+    client_ip: Ipv4Addr,
+    server_ip: Ipv4Addr,
+    qname: &Name,
+    qtype: RecordType,
+    id: u16,
+    timeout: simnet::SimDuration,
+) -> Option<Message> {
     let query = Message::query(id, Question::new(qname.clone(), qtype));
     let bytes = query.encode().ok()?;
     let reply = net.rpc(
@@ -264,7 +289,7 @@ pub fn dns_query(
         simnet::Endpoint::new(server_ip, DNS_PORT),
         simnet::Proto::Udp,
         bytes.clone(),
-        simnet::SimDuration::from_secs(5),
+        timeout,
     )?;
     let resp = Message::decode(&reply).ok()?;
     if resp.id != id {
@@ -279,7 +304,7 @@ pub fn dns_query(
         simnet::Endpoint::new(server_ip, DNS_PORT),
         simnet::Proto::Tcp,
         bytes,
-        simnet::SimDuration::from_secs(5),
+        timeout,
     );
     match tcp_reply {
         Some(raw) => match Message::decode(&raw) {

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
 use simnet::SimDuration;
 use std::hint::black_box;
-use urhunter::{collect_urs, select_nameservers, CollectConfig, QueryScheduler};
+use urhunter::{collect_urs, select_nameservers, CollectConfig, ProbeEngine, QueryScheduler};
 use worldgen::{World, WorldConfig};
 
 fn bench_scheduler_cost(c: &mut Criterion) {
@@ -24,6 +24,7 @@ fn bench_scheduler_cost(c: &mut Criterion) {
                 let mut sched = QueryScheduler::new(1, interval);
                 black_box(collect_urs(
                     &mut world.net,
+                    &mut ProbeEngine::single_shot(),
                     &world.registry,
                     &ns,
                     &targets,
@@ -52,6 +53,7 @@ fn bench_collection_scaling(c: &mut Criterion) {
                     let mut sched = QueryScheduler::new(1, SimDuration::ZERO);
                     black_box(collect_urs(
                         &mut world.net,
+                        &mut ProbeEngine::single_shot(),
                         &world.registry,
                         &ns,
                         &targets,

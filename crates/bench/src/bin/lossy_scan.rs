@@ -1,0 +1,50 @@
+//! Collection under loss: UR recall versus datagram drop rate at each
+//! retry budget, with the engine's coverage accounting alongside.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin lossy_scan
+//! ```
+//!
+//! Every cell is one full pipeline run on the small world with a per-flow
+//! scheduled fault plan (same seed, same loss lottery for every retry
+//! policy), so the table isolates exactly what the retry budget buys. The
+//! `recall` column is URs collected relative to the reliable run; `hash=`
+//! marks whether the classified sequence matches the reliable run
+//! bit-for-bit.
+
+use simnet::FaultPlan;
+use urhunter::{classified_sequence_hash, run, HunterConfig, QueryPlan};
+use worldgen::{World, WorldConfig};
+
+fn main() {
+    let reliable = run(
+        &mut World::generate(WorldConfig::small()),
+        &HunterConfig::fast(),
+    );
+    let reliable_urs = reliable.report.totals.total;
+    let reliable_hash = classified_sequence_hash(&reliable.classified);
+    println!("collection under loss (small world, {reliable_urs} URs on a reliable network)\n");
+    println!("| drop | attempts | URs | recall | gave up | retried ok | retransmissions | hash |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    for drop in [0.0, 0.01, 0.05, 0.2] {
+        for attempts in [1u32, 3, 5] {
+            let cfg = HunterConfig::fast()
+                .with_retry_plan(QueryPlan::with_attempts(attempts))
+                .with_scan_faults(FaultPlan::lossy(drop).scheduled_per_flow());
+            let out = run(&mut World::generate(WorldConfig::small()), &cfg);
+            let c = &out.coverage;
+            assert!(c.is_complete(), "coverage must account for every probe");
+            let urs = out.report.totals.total;
+            let recall = 100.0 * urs as f64 / reliable_urs as f64;
+            let matches = classified_sequence_hash(&out.classified) == reliable_hash;
+            println!(
+                "| {drop:.2} | {attempts} | {urs} | {recall:.2} % | {} | {} | {} | {} |",
+                c.total_gave_up(),
+                c.retried_answered,
+                c.retransmissions,
+                if matches { "=" } else { "≠" },
+            );
+        }
+    }
+}

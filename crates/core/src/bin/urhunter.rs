@@ -3,6 +3,7 @@
 //! ```text
 //! urhunter [--scale small|default] [--seed N] [--report summary|table1|figure2|figure3|table2|all]
 //!          [--parallelism N] [--batch-size N]
+//!          [--retries N] [--timeout MS] [--fault-drop P]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
 //! ```
 //!
@@ -11,10 +12,18 @@
 //! stage-overlapped pipeline with N collected URs per batch. Both settings
 //! change wall-clock only — the output is bit-identical.
 //!
+//! `--retries N` gives every collection probe N attempts (default 3;
+//! 1 = single-shot), `--timeout MS` bounds each attempt, and
+//! `--fault-drop P` injects a drop probability P onto the fabric for the
+//! collection stages only (per-flow scheduled, so the loss pattern is
+//! independent of the retry policy). Probe accounting is printed after
+//! every run.
+//!
 //! Examples:
 //!   urhunter --report all
 //!   urhunter --scale default --seed 7 --report table1
 //!   urhunter --scale default --batch-size 64 --parallelism 4
+//!   urhunter --fault-drop 0.05 --retries 5 --timeout 2000
 //!   urhunter --extended --payload-match --pcap sandbox.pcap
 
 use std::process::ExitCode;
@@ -27,6 +36,9 @@ struct Args {
     report: String,
     parallelism: Option<usize>,
     batch_size: Option<usize>,
+    retries: Option<u32>,
+    timeout_ms: Option<u64>,
+    fault_drop: Option<f64>,
     extended: bool,
     expand_pdns: bool,
     payload_match: bool,
@@ -39,9 +51,12 @@ fn usage() -> ! {
         "usage: urhunter [--scale small|default] [--seed N] \
          [--report summary|table1|figure2|figure3|table2|all]\n\
          \u{20}               [--parallelism N] [--batch-size N]\n\
+         \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
          \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
-         \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch."
+         \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch;\n\
+         \u{20} --retries N attempts per probe (default 3), --timeout MS per attempt,\n\
+         \u{20} --fault-drop P injects drop probability P in [0,1] for the collection stages."
     );
     std::process::exit(2)
 }
@@ -53,6 +68,9 @@ fn parse_args() -> Args {
         report: "summary".to_string(),
         parallelism: None,
         batch_size: None,
+        retries: None,
+        timeout_ms: None,
+        fault_drop: None,
         extended: false,
         expand_pdns: false,
         payload_match: false,
@@ -75,6 +93,23 @@ fn parse_args() -> Args {
             "--batch-size" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 args.batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--retries" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.retries = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--timeout" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.timeout_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--fault-drop" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let p: f64 = v.parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&p) {
+                    eprintln!("--fault-drop must be in [0, 1]");
+                    usage()
+                }
+                args.fault_drop = Some(p);
             }
             "--extended" => args.extended = true,
             "--expand-pdns" => args.expand_pdns = true,
@@ -124,6 +159,15 @@ fn main() -> ExitCode {
     if let Some(batch) = args.batch_size {
         hunter = hunter.with_stream_batch_size(batch);
     }
+    if let Some(retries) = args.retries {
+        hunter = hunter.with_retries(retries);
+    }
+    if let Some(ms) = args.timeout_ms {
+        hunter = hunter.with_timeout(simnet::SimDuration::from_millis(ms));
+    }
+    if let Some(p) = args.fault_drop {
+        hunter = hunter.with_scan_faults(simnet::FaultPlan::lossy(p).scheduled_per_flow());
+    }
 
     eprintln!(
         "generating world (scale={}, seed={})...",
@@ -136,6 +180,7 @@ fn main() -> ExitCode {
         world.scan_targets().len()
     );
     let out = run(&mut world, &hunter);
+    eprint!("{}", out.report.render_coverage());
 
     match args.report.as_str() {
         "summary" => println!("{}", out.report.render_summary()),

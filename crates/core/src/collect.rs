@@ -2,6 +2,7 @@
 //! nameservers, correct records from open resolvers and passive DNS, and
 //! protective records from canary probes.
 
+use crate::query::ProbeEngine;
 use crate::schedule::QueryScheduler;
 use crate::types::{CollectedUr, CorrectDb, DomainProfile, ProtectiveDb, UrKey};
 use dnswire::{Name, Rcode, RecordType};
@@ -55,8 +56,10 @@ pub fn select_nameservers(world: &World, min_tail_sites: u32) -> Vec<NsInfo> {
 /// type, and assemble the [`CollectedUr`]. Shared by the bulk scan and the
 /// §4.2 false-negative evaluation (which replays *delegated* records
 /// through the identical path).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn query_one_ur(
     net: &mut Network,
+    engine: &mut ProbeEngine,
     scanner_ip: Ipv4Addr,
     ns_ip: Ipv4Addr,
     domain: &Name,
@@ -64,7 +67,7 @@ pub(crate) fn query_one_ur(
     qid: u16,
     provider: &str,
 ) -> Option<CollectedUr> {
-    let resp = authdns::dns_query(net, scanner_ip, ns_ip, domain, rtype, qid)?;
+    let resp = engine.query(net, scanner_ip, ns_ip, domain, rtype, qid)?;
     if resp.rcode() != Rcode::NoError {
         return None;
     }
@@ -101,19 +104,19 @@ pub(crate) fn query_one_ur(
 /// only after 65,535 probes of the *same* target and record type — one per
 /// nameserver plus MX follow-ups — instead of 65,535 probes globally.
 #[derive(Debug, Default)]
-pub(crate) struct QidGen {
+pub struct QidGen {
     streams: std::collections::HashMap<(u32, u16), u32>,
 }
 
 impl QidGen {
     /// A fresh generator (streams start at their hash-derived offsets).
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         QidGen::default()
     }
 
     /// The next id for the `(target, rtype)` probe stream: never zero,
     /// never repeated within 65,535 consecutive probes of the stream.
-    pub(crate) fn next(&mut self, target_idx: usize, rtype: RecordType) -> u16 {
+    pub fn next(&mut self, target_idx: usize, rtype: RecordType) -> u16 {
         let key = (target_idx as u32, rtype.code());
         let ctr = self.streams.entry(key).or_insert(0);
         let base = (u64::from(key.0))
@@ -133,6 +136,7 @@ impl QidGen {
 /// unbounded batch; the streaming pipeline consumes batches directly.
 pub fn collect_urs(
     net: &mut Network,
+    engine: &mut ProbeEngine,
     world_registry: &authdns::DelegationRegistry,
     nameservers: &[NsInfo],
     targets: &[Name],
@@ -142,6 +146,7 @@ pub fn collect_urs(
     let mut out: Vec<CollectedUr> = Vec::new();
     collect_urs_stream(
         net,
+        engine,
         world_registry,
         nameservers,
         targets,
@@ -167,6 +172,7 @@ pub fn collect_urs(
 #[allow(clippy::too_many_arguments)]
 pub fn collect_urs_stream(
     net: &mut Network,
+    engine: &mut ProbeEngine,
     world_registry: &authdns::DelegationRegistry,
     nameservers: &[NsInfo],
     targets: &[Name],
@@ -217,9 +223,16 @@ pub fn collect_urs_stream(
         let domain = &targets[di];
         scheduler.admit(net, ns.ip);
         let qid = qids.next(di, rtype);
-        let Some(mut ur) =
-            query_one_ur(net, cfg.scanner_ip, ns.ip, domain, rtype, qid, &ns.provider)
-        else {
+        let Some(mut ur) = query_one_ur(
+            net,
+            engine,
+            cfg.scanner_ip,
+            ns.ip,
+            domain,
+            rtype,
+            qid,
+            &ns.provider,
+        ) else {
             continue;
         };
         // MX follow-up: resolve each exchange host's address at the same
@@ -236,7 +249,7 @@ pub fn collect_urs_stream(
             for exchange in exchanges {
                 let qid = qids.next(di, rtype);
                 if let Some(aux) =
-                    authdns::dns_query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
+                    engine.query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
                 {
                     if aux.rcode() == Rcode::NoError {
                         ur.aux_records.extend(
@@ -265,6 +278,7 @@ pub fn collect_urs_stream(
 /// appendix; manipulated answers are tolerated by the majority.)
 pub fn collect_correct(
     net: &mut Network,
+    engine: &mut ProbeEngine,
     resolvers: &[worldgen::OpenResolverInfo],
     metadata: &netdb::NetDb,
     targets: &[Name],
@@ -286,7 +300,7 @@ pub fn collect_correct(
             let resolver = stable[(di * 31 + j * 7) % stable.len()];
             for rt in [RecordType::A, RecordType::Txt, RecordType::Mx] {
                 qid = qid.wrapping_add(1).max(1);
-                let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, resolver, domain, rt, qid)
+                let Some(resp) = engine.query(net, cfg.scanner_ip, resolver, domain, rt, qid)
                 else {
                     continue;
                 };
@@ -325,6 +339,7 @@ pub fn collect_correct(
 /// domain hosted nowhere, and record what it answers.
 pub fn collect_protective(
     net: &mut Network,
+    engine: &mut ProbeEngine,
     nameservers: &[NsInfo],
     cfg: &CollectConfig,
 ) -> ProtectiveDb {
@@ -337,8 +352,7 @@ pub fn collect_protective(
         let mut profile = crate::types::ProtectiveProfile::default();
         for rt in [RecordType::A, RecordType::Txt] {
             qid = qid.wrapping_add(1).max(1);
-            let Some(resp) = authdns::dns_query(net, cfg.scanner_ip, ns.ip, &canary, rt, qid)
-            else {
+            let Some(resp) = engine.query(net, cfg.scanner_ip, ns.ip, &canary, rt, qid) else {
                 continue;
             };
             if resp.rcode() != Rcode::NoError {
@@ -388,6 +402,7 @@ mod tests {
         let targets = world.scan_targets();
         let urs = collect_urs(
             &mut world.net,
+            &mut ProbeEngine::single_shot(),
             &world.registry,
             &nameservers,
             &targets,
@@ -424,7 +439,14 @@ mod tests {
             ..CollectConfig::default()
         };
         let targets: Vec<Name> = world.tranco.top(10).to_vec();
-        let db = collect_correct(&mut world.net, &world.resolvers, &world.db, &targets, &cfg);
+        let db = collect_correct(
+            &mut world.net,
+            &mut ProbeEngine::single_shot(),
+            &world.resolvers,
+            &world.db,
+            &targets,
+            &cfg,
+        );
         let mut resolved = 0;
         for d in &targets {
             let p = db.profile(d);
@@ -446,7 +468,12 @@ mod tests {
         let nameservers = select_nameservers(&world, cfg.min_tail_sites);
         let cloudns_idx = world.provider_index("ClouDNS").unwrap();
         let protective_ip = world.provider_meta[cloudns_idx].protective_ip;
-        let db = collect_protective(&mut world.net, &nameservers, &cfg);
+        let db = collect_protective(
+            &mut world.net,
+            &mut ProbeEngine::single_shot(),
+            &nameservers,
+            &cfg,
+        );
         let cloudns_ns: Vec<Ipv4Addr> = nameservers
             .iter()
             .filter(|ns| ns.provider == "ClouDNS")

@@ -43,6 +43,7 @@ pub mod classify;
 pub mod collect;
 pub mod defense;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod schedule;
 pub mod types;
@@ -52,12 +53,13 @@ pub use audit::{audit_provider, audit_table2, AuditRow};
 pub use classify::{classify_all, classify_ur, ClassifyConfig, StreamClassifier};
 pub use collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_stream, select_nameservers,
-    CollectConfig, NS_SELECTION_THRESHOLD,
+    CollectConfig, QidGen, NS_SELECTION_THRESHOLD,
 };
 pub use defense::{BypassAlert, EgressMonitor};
 pub use pipeline::{
-    classified_sequence_hash, evaluate_false_negatives, run, HunterConfig, RunOutput,
+    classified_sequence_hash, evaluate_false_negatives, run, HunterConfig, OverlapStats, RunOutput,
 };
+pub use query::{CoverageReport, NsHealth, ProbeEngine, QueryPlan};
 pub use report::{build_report, ProviderRow, Report, ReportBuilder, Table1Row, Totals};
 pub use schedule::{QueryScheduler, PAPER_PER_SERVER_INTERVAL};
 pub use types::{

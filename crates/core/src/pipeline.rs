@@ -7,11 +7,14 @@ use crate::collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_stream, query_one_ur,
     select_nameservers, CollectConfig, QidGen,
 };
+use crate::query::{CoverageReport, ProbeEngine, QueryPlan};
 use crate::report::{build_report, Report};
 use crate::schedule::QueryScheduler;
 use crate::types::{ClassifiedUr, CollectedUr, CorrectDb, ProtectiveDb, UrCategory};
 use dnswire::RecordType;
-use simnet::SimDuration;
+use simnet::{FaultPlan, SimDuration};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 use worldgen::{NsInfo, World};
 
 /// Complete pipeline configuration.
@@ -48,6 +51,16 @@ pub struct HunterConfig {
     /// turn it off so large-world runs don't hold every UR twice — each
     /// [`ClassifiedUr`] already embeds its collected record.
     pub keep_raw_collected: bool,
+    /// Retry/backoff policy for every collection-stage probe (bulk scan,
+    /// correct records, protective canaries, and the §4.2 replay). On a
+    /// reliable network the first attempt always answers, so the default
+    /// (3 attempts) leaves output bit-identical to a single-shot run.
+    pub retry: QueryPlan,
+    /// Fault plan applied to the fabric for the *collection* stages only
+    /// (the scanner crosses the hostile Internet; the sandbox/IDS phase is
+    /// a local measurement and must stay clean). `None` leaves the world's
+    /// fault plan untouched.
+    pub scan_faults: Option<FaultPlan>,
 }
 
 impl HunterConfig {
@@ -64,6 +77,8 @@ impl HunterConfig {
             parallelism: 0,
             stream_batch_size: 0,
             keep_raw_collected: true,
+            retry: QueryPlan::default(),
+            scan_faults: None,
         }
     }
 
@@ -116,6 +131,32 @@ impl HunterConfig {
         self
     }
 
+    /// Set the attempt count of the collection retry policy (1 = today's
+    /// single-shot behavior).
+    pub fn with_retries(mut self, attempts: u32) -> Self {
+        self.retry.attempts = attempts.max(1);
+        self
+    }
+
+    /// Set the per-attempt probe timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.retry.timeout = timeout;
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn with_retry_plan(mut self, plan: QueryPlan) -> Self {
+        self.retry = plan;
+        self
+    }
+
+    /// Apply this fault plan to the fabric for the collection stages only
+    /// (see [`HunterConfig::scan_faults`]).
+    pub fn with_scan_faults(mut self, faults: FaultPlan) -> Self {
+        self.scan_faults = Some(faults);
+        self
+    }
+
     /// The classify config with the pipeline-level overrides applied.
     fn classify_cfg(&self, today: pdns::Day) -> ClassifyConfig {
         let mut cfg = self.classify.clone();
@@ -150,6 +191,27 @@ pub struct RunOutput {
     pub correct_db: CorrectDb,
     /// The protective-record database used.
     pub protective_db: ProtectiveDb,
+    /// Coverage accounting across every collection-stage probe (also
+    /// embedded in [`Report::coverage`]).
+    pub coverage: CoverageReport,
+    /// Wall-clock overlap instrumentation from the streaming executor
+    /// (all zero on the strict-batch path).
+    pub overlap: OverlapStats,
+}
+
+/// How much classification work the streaming executor ran while the
+/// collection stage was still producing. Pure wall-clock measurement —
+/// it never influences results, only reports how well the two stages
+/// overlapped on this machine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverlapStats {
+    /// Total wall time workers spent classifying batches.
+    pub classify_busy_ms: f64,
+    /// The portion of `classify_busy_ms` from batches whose
+    /// classification finished before collection finished — work genuinely
+    /// interleaved with (on multi-core machines, hidden behind) the
+    /// collection stage instead of strictly following it.
+    pub classify_hidden_ms: f64,
 }
 
 /// Run the full URHunter pipeline against a world.
@@ -180,9 +242,18 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     // The scanner's own traffic is not sandbox evidence; capture is off for
     // the bulk scan and re-enabled for the sandbox phase the IDS inspects.
     world.net.trace.set_enabled(false);
-    let protective_db = collect_protective(&mut world.net, &nameservers, &cfg.collect);
+    // Scan-stage faults model the hostile Internet the scanner crosses; the
+    // fabric's prior plan is restored before the (local) sandbox phase so
+    // IDS evidence is never corrupted by injected loss.
+    let pre_scan_faults = world.net.faults();
+    if let Some(faults) = cfg.scan_faults {
+        world.net.set_faults(faults);
+    }
+    let mut engine = ProbeEngine::new(cfg.retry);
+    let protective_db = collect_protective(&mut world.net, &mut engine, &nameservers, &cfg.collect);
     let correct_db = collect_correct(
         &mut world.net,
+        &mut engine,
         &world.resolvers,
         &world.db,
         &targets,
@@ -191,10 +262,12 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
 
     let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
     let classify_cfg = cfg.classify_cfg(world.config.today);
+    let mut overlap = OverlapStats::default();
     let (mut collected, mut classified) = if cfg.stream_batch_size == 0 {
         // Legacy strict-batch path: materialize every UR, then classify.
         let collected = collect_urs(
             &mut world.net,
+            &mut engine,
             &world.registry,
             &nameservers,
             &targets,
@@ -228,12 +301,20 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         let keep_raw = cfg.keep_raw_collected;
         let net = &mut world.net;
         let registry = &world.registry;
-        par::ordered_pipeline(
+        let engine = &mut engine;
+        // Overlap instrumentation: workers bank their classify wall time,
+        // split by whether collection was still producing when the batch
+        // finished. Measurement only — results never depend on it.
+        let collecting = AtomicBool::new(true);
+        let busy_ns = AtomicU64::new(0);
+        let hidden_ns = AtomicU64::new(0);
+        let out = par::ordered_pipeline(
             workers,
             capacity,
             |sink: &mut dyn FnMut(Vec<CollectedUr>)| {
                 collect_urs_stream(
                     net,
+                    engine,
                     registry,
                     &nameservers,
                     &targets,
@@ -242,18 +323,41 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
                     cfg.stream_batch_size,
                     sink,
                 );
+                collecting.store(false, Ordering::Release);
             },
             |batch: Vec<CollectedUr>| {
-                let classified = streamer.classify_batch(&batch);
-                (if keep_raw { batch } else { Vec::new() }, classified)
+                let t0 = Instant::now();
+                let out = if keep_raw {
+                    let classified = streamer.classify_batch(&batch);
+                    (batch, classified)
+                } else {
+                    // Hot path: move each UR into its classification
+                    // instead of deep-cloning ~20k record vectors per run.
+                    (Vec::new(), streamer.classify_batch_owned(batch))
+                };
+                let dt = t0.elapsed().as_nanos() as u64;
+                busy_ns.fetch_add(dt, Ordering::Relaxed);
+                if collecting.load(Ordering::Acquire) {
+                    hidden_ns.fetch_add(dt, Ordering::Relaxed);
+                }
+                out
             },
             (Vec::new(), Vec::new()),
             |acc: &mut (Vec<CollectedUr>, Vec<ClassifiedUr>), (raw, cls)| {
                 acc.0.extend(raw);
                 acc.1.extend(cls);
             },
-        )
+        );
+        overlap = OverlapStats {
+            classify_busy_ms: busy_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            classify_hidden_ms: hidden_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        };
+        out
     };
+    // Collection is done: restore the fabric's fault plan before the local
+    // sandbox/IDS phase, and bank the probe accounting.
+    world.net.set_faults(pre_scan_faults);
+    let coverage = engine.take_coverage();
     world.net.trace.set_enabled(true);
     if !cfg.keep_raw_collected {
         collected = Vec::new();
@@ -276,7 +380,8 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         &world.payload_sigs,
         &analyze_cfg,
     );
-    let report = build_report(&classified, &analysis, &world.intel);
+    let mut report = build_report(&classified, &analysis, &world.intel);
+    report.coverage = coverage.clone();
 
     RunOutput {
         nameservers,
@@ -286,6 +391,8 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         report,
         correct_db,
         protective_db,
+        coverage,
+        overlap,
     }
 }
 
@@ -322,6 +429,13 @@ pub fn evaluate_false_negatives(
     let targets: Vec<dnswire::Name> = world.tranco.domains().to_vec();
     let mut delegated_inputs: Vec<CollectedUr> = Vec::new();
     let mut qids = QidGen::new();
+    // The replay crosses the same hostile network as the bulk scan: same
+    // fault plan, same retry policy, restored afterwards.
+    let pre_scan_faults = world.net.faults();
+    if let Some(faults) = cfg.scan_faults {
+        world.net.set_faults(faults);
+    }
+    let mut engine = ProbeEngine::new(cfg.retry);
     for (ti, domain) in targets.iter().enumerate() {
         let Some(delegation) = world.registry.delegation_of(domain).map(|d| d.to_vec()) else {
             continue;
@@ -333,6 +447,7 @@ pub fn evaluate_false_negatives(
                 // evaluation exercises the exact production logic.
                 if let Some(ur) = query_one_ur(
                     &mut world.net,
+                    &mut engine,
                     cfg.collect.scanner_ip,
                     *ns_ip,
                     domain,
@@ -345,6 +460,7 @@ pub fn evaluate_false_negatives(
             }
         }
     }
+    world.net.set_faults(pre_scan_faults);
     assert!(
         !delegated_inputs.is_empty(),
         "false-negative evaluation needs delegated records as input"

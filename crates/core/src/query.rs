@@ -1,0 +1,487 @@
+//! Resilient query engine for the collection stage (§4.1 robustness).
+//!
+//! The paper's scan of 8,941 live nameservers crosses the hostile Internet:
+//! datagrams are lost, servers stall or die, responses arrive truncated or
+//! with the wrong qid. A single-shot probe turns every such incident into a
+//! silent false negative. This module makes loss *measured, never silent*:
+//!
+//! * [`QueryPlan`] — how hard to try: attempts, per-attempt timeout, and a
+//!   deterministic seeded exponential backoff (virtual clock only — a run is
+//!   bit-reproducible for a given seed, no wall time involved).
+//! * [`NsHealth`] — a per-nameserver consecutive-failure circuit breaker
+//!   that quarantines dead servers and records them instead of hammering
+//!   them (the paper's ethics stance: §7 "minimize the impact on hosting
+//!   services").
+//! * [`CoverageReport`] — every scheduled probe is accounted for as
+//!   answered on the first try, retried-then-answered, skipped because its
+//!   server was quarantined, or given up after all attempts.
+//! * [`ProbeEngine`] — glues the three together around
+//!   [`authdns::dns_query_with_timeout`]; a retransmission reuses the same
+//!   qid (the original may still be in flight — a late reply must match).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
+
+use dnswire::{Message, Name, RecordType};
+use simnet::{Network, SimDuration};
+
+/// Retry/backoff policy for one collection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Total attempts per probe (first transmission + retries). Minimum 1.
+    pub attempts: u32,
+    /// Per-attempt timeout before the attempt counts as failed.
+    pub timeout: SimDuration,
+    /// Base delay before the first retry; doubles each further retry.
+    pub backoff_base: SimDuration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_max: SimDuration,
+    /// Seed for the deterministic jitter mixed into each delay.
+    pub backoff_seed: u64,
+    /// Consecutive failures after which a nameserver is quarantined and no
+    /// further probes are sent to it (0 disables the circuit breaker).
+    pub quarantine_threshold: u32,
+}
+
+impl Default for QueryPlan {
+    fn default() -> Self {
+        QueryPlan {
+            attempts: 3,
+            timeout: SimDuration::from_secs(5),
+            backoff_base: SimDuration::from_millis(500),
+            backoff_max: SimDuration::from_secs(8),
+            backoff_seed: DEFAULT_BACKOFF_SEED,
+            quarantine_threshold: 8,
+        }
+    }
+}
+
+/// Default jitter seed; any fixed value works, callers override per run.
+pub const DEFAULT_BACKOFF_SEED: u64 = 0x5EED_BACC_0FF5_EED5;
+
+impl QueryPlan {
+    /// Single-shot plan: exactly today's pre-retry behavior (one attempt,
+    /// 5-second timeout, no breaker).
+    pub fn single_shot() -> Self {
+        QueryPlan {
+            attempts: 1,
+            quarantine_threshold: 0,
+            ..QueryPlan::default()
+        }
+    }
+
+    /// Plan with `attempts` tries and everything else at defaults.
+    pub fn with_attempts(attempts: u32) -> Self {
+        QueryPlan {
+            attempts: attempts.max(1),
+            ..QueryPlan::default()
+        }
+    }
+
+    /// Override the per-attempt timeout.
+    pub fn timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Override the backoff jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// Override the quarantine threshold (0 = breaker off).
+    pub fn quarantine_after(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold;
+        self
+    }
+
+    /// Deterministic backoff delay before retry number `attempt`
+    /// (1-based: `attempt = 1` is the wait before the first retransmission).
+    ///
+    /// `min(base * 2^(attempt-1) + jitter, max)` where `jitter` is a hash of
+    /// `(seed, probe_key, attempt)` bounded by `base / 2`. For a fixed seed
+    /// and probe key the schedule is monotone non-decreasing in `attempt`,
+    /// bounded by `backoff_max`, and identical across runs.
+    pub fn backoff(&self, probe_key: u64, attempt: u32) -> SimDuration {
+        let base = self.backoff_base.as_micros();
+        let max = self.backoff_max.as_micros();
+        if base == 0 || attempt == 0 {
+            return SimDuration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let scaled = base.saturating_mul(1u64 << exp);
+        let mut h = DefaultHasher::new();
+        self.backoff_seed.hash(&mut h);
+        probe_key.hash(&mut h);
+        attempt.hash(&mut h);
+        // Jitter < base/2 ≤ the growth step, so the schedule stays monotone:
+        // scaled doubles each attempt while jitter is bounded by a constant.
+        let jitter = h.finish() % (base / 2 + 1);
+        SimDuration::from_micros(scaled.saturating_add(jitter).min(max))
+    }
+}
+
+/// Per-nameserver consecutive-failure circuit breaker.
+#[derive(Debug, Clone, Default)]
+pub struct NsHealth {
+    consecutive_failures: HashMap<Ipv4Addr, u32>,
+    quarantined: BTreeSet<Ipv4Addr>,
+}
+
+impl NsHealth {
+    /// A tracker with no history.
+    pub fn new() -> Self {
+        NsHealth::default()
+    }
+
+    /// Is this server quarantined (no further probes allowed)?
+    pub fn is_quarantined(&self, server: Ipv4Addr) -> bool {
+        self.quarantined.contains(&server)
+    }
+
+    /// Record a successful exchange: resets the failure streak.
+    pub fn record_success(&mut self, server: Ipv4Addr) {
+        self.consecutive_failures.remove(&server);
+    }
+
+    /// Record a fully failed probe (all attempts exhausted). Returns `true`
+    /// if this failure pushed the server over `threshold` into quarantine.
+    pub fn record_failure(&mut self, server: Ipv4Addr, threshold: u32) -> bool {
+        let streak = self.consecutive_failures.entry(server).or_insert(0);
+        *streak += 1;
+        if threshold > 0 && *streak >= threshold && self.quarantined.insert(server) {
+            return true;
+        }
+        false
+    }
+
+    /// Servers currently quarantined, in address order.
+    pub fn quarantined_servers(&self) -> Vec<Ipv4Addr> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Current failure streak for a server (0 if healthy).
+    pub fn failure_streak(&self, server: Ipv4Addr) -> u32 {
+        self.consecutive_failures.get(&server).copied().unwrap_or(0)
+    }
+}
+
+/// Exact accounting of every probe the engine was asked to send.
+///
+/// Invariant: `scheduled == answered + retried_answered + gave_up +
+/// skipped_quarantined` — checked by [`CoverageReport::is_complete`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Probes handed to the engine.
+    pub scheduled: u64,
+    /// Answered on the first transmission.
+    pub answered: u64,
+    /// Answered after at least one retransmission.
+    pub retried_answered: u64,
+    /// All attempts exhausted without a usable response.
+    pub gave_up: u64,
+    /// Not sent at all: the target server was quarantined.
+    pub skipped_quarantined: u64,
+    /// Total retransmissions sent (excludes first transmissions).
+    pub retransmissions: u64,
+    /// Servers quarantined during the run, in address order.
+    pub quarantined_servers: Vec<Ipv4Addr>,
+}
+
+impl CoverageReport {
+    /// Probes that produced a usable response, via any number of attempts.
+    pub fn total_answered(&self) -> u64 {
+        self.answered + self.retried_answered
+    }
+
+    /// Probes with no usable response (given up or never sent).
+    pub fn total_gave_up(&self) -> u64 {
+        self.gave_up + self.skipped_quarantined
+    }
+
+    /// Does every scheduled probe appear in exactly one outcome bucket?
+    pub fn is_complete(&self) -> bool {
+        self.scheduled == self.total_answered() + self.total_gave_up()
+    }
+
+    /// Fold another report into this one (used when a run has several
+    /// collection stages, each with its own engine pass).
+    pub fn absorb(&mut self, other: &CoverageReport) {
+        self.scheduled += other.scheduled;
+        self.answered += other.answered;
+        self.retried_answered += other.retried_answered;
+        self.gave_up += other.gave_up;
+        self.skipped_quarantined += other.skipped_quarantined;
+        self.retransmissions += other.retransmissions;
+        let mut set: BTreeSet<Ipv4Addr> = self.quarantined_servers.iter().copied().collect();
+        set.extend(other.quarantined_servers.iter().copied());
+        self.quarantined_servers = set.into_iter().collect();
+    }
+}
+
+/// The retrying query engine: one instance per collection run.
+#[derive(Debug)]
+pub struct ProbeEngine {
+    /// Retry policy in force.
+    pub plan: QueryPlan,
+    /// Per-server breaker state.
+    pub health: NsHealth,
+    /// Accounting of everything scheduled so far.
+    pub coverage: CoverageReport,
+}
+
+impl ProbeEngine {
+    /// Engine with the given plan and fresh health/coverage state.
+    pub fn new(plan: QueryPlan) -> Self {
+        ProbeEngine {
+            plan,
+            health: NsHealth::new(),
+            coverage: CoverageReport::default(),
+        }
+    }
+
+    /// Engine that reproduces pre-retry behavior exactly: one attempt,
+    /// stub-default timeout, breaker off.
+    pub fn single_shot() -> Self {
+        ProbeEngine::new(QueryPlan::single_shot())
+    }
+
+    /// Key identifying a probe for backoff jitter purposes.
+    fn probe_key(server: Ipv4Addr, qname: &Name, qtype: RecordType, qid: u16) -> u64 {
+        let mut h = DefaultHasher::new();
+        u32::from(server).hash(&mut h);
+        qname.to_string().hash(&mut h);
+        qtype.code().hash(&mut h);
+        qid.hash(&mut h);
+        h.finish()
+    }
+
+    /// One resilient DNS probe: transmit, wait, retransmit with backoff up
+    /// to `plan.attempts` times, reusing `qid` so a late reply to an earlier
+    /// transmission still matches. Every call lands in exactly one
+    /// [`CoverageReport`] bucket.
+    pub fn query(
+        &mut self,
+        net: &mut Network,
+        client_ip: Ipv4Addr,
+        server_ip: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        qid: u16,
+    ) -> Option<Message> {
+        self.coverage.scheduled += 1;
+        if self.health.is_quarantined(server_ip) {
+            self.coverage.skipped_quarantined += 1;
+            return None;
+        }
+        let key = Self::probe_key(server_ip, qname, qtype, qid);
+        let attempts = self.plan.attempts.max(1);
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                // Deterministic backoff on the virtual clock; a late reply
+                // arriving during this wait is drained (and matched by qid)
+                // at the start of the next attempt's rpc.
+                let wait = self.plan.backoff(key, attempt - 1);
+                let deadline = net.now() + wait;
+                net.run_until(deadline);
+                self.coverage.retransmissions += 1;
+            }
+            if let Some(resp) = authdns::dns_query_with_timeout(
+                net,
+                client_ip,
+                server_ip,
+                qname,
+                qtype,
+                qid,
+                self.plan.timeout,
+            ) {
+                if attempt == 1 {
+                    self.coverage.answered += 1;
+                } else {
+                    self.coverage.retried_answered += 1;
+                }
+                self.health.record_success(server_ip);
+                return Some(resp);
+            }
+        }
+        self.coverage.gave_up += 1;
+        if self
+            .health
+            .record_failure(server_ip, self.plan.quarantine_threshold)
+        {
+            self.coverage.quarantined_servers.push(server_ip);
+        }
+        None
+    }
+
+    /// Take the accumulated coverage, leaving a fresh report behind (health
+    /// state is kept so quarantine persists across stages).
+    pub fn take_coverage(&mut self) -> CoverageReport {
+        std::mem::take(&mut self.coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn default_plan_is_sane() {
+        let p = QueryPlan::default();
+        assert_eq!(p.attempts, 3);
+        assert_eq!(p.timeout, SimDuration::from_secs(5));
+        assert_eq!(p.quarantine_threshold, 8);
+        assert_eq!(p.backoff_seed, DEFAULT_BACKOFF_SEED);
+    }
+
+    #[test]
+    fn backoff_is_monotone_bounded_deterministic() {
+        let plan = QueryPlan::default();
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=20 {
+            let d = plan.backoff(42, attempt);
+            assert!(d >= prev, "attempt {attempt}: {d:?} < {prev:?}");
+            assert!(d <= plan.backoff_max);
+            assert_eq!(d, plan.backoff(42, attempt), "not deterministic");
+            prev = d;
+        }
+        // Different probe keys jitter differently somewhere in the schedule.
+        let a: Vec<_> = (1..=6).map(|n| plan.backoff(1, n)).collect();
+        let b: Vec<_> = (1..=6).map(|n| plan.backoff(2, n)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backoff_zero_base_is_zero() {
+        let plan = QueryPlan {
+            backoff_base: SimDuration::ZERO,
+            ..QueryPlan::default()
+        };
+        assert_eq!(plan.backoff(9, 3), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn health_breaker_quarantines_after_threshold() {
+        let mut h = NsHealth::new();
+        let s = ip(1);
+        for i in 1..3 {
+            assert!(!h.record_failure(s, 3), "tripped early at {i}");
+        }
+        assert!(!h.is_quarantined(s));
+        assert!(h.record_failure(s, 3));
+        assert!(h.is_quarantined(s));
+        // Re-recording doesn't report "newly quarantined" again.
+        assert!(!h.record_failure(s, 3));
+        assert_eq!(h.quarantined_servers(), vec![s]);
+    }
+
+    #[test]
+    fn health_success_resets_streak() {
+        let mut h = NsHealth::new();
+        let s = ip(2);
+        h.record_failure(s, 5);
+        h.record_failure(s, 5);
+        assert_eq!(h.failure_streak(s), 2);
+        h.record_success(s);
+        assert_eq!(h.failure_streak(s), 0);
+    }
+
+    #[test]
+    fn health_threshold_zero_never_quarantines() {
+        let mut h = NsHealth::new();
+        let s = ip(3);
+        for _ in 0..100 {
+            assert!(!h.record_failure(s, 0));
+        }
+        assert!(!h.is_quarantined(s));
+    }
+
+    #[test]
+    fn coverage_accounting_invariant() {
+        let mut c = CoverageReport {
+            scheduled: 10,
+            answered: 5,
+            retried_answered: 2,
+            gave_up: 2,
+            skipped_quarantined: 1,
+            retransmissions: 4,
+            quarantined_servers: vec![ip(1)],
+        };
+        assert!(c.is_complete());
+        assert_eq!(c.total_answered(), 7);
+        assert_eq!(c.total_gave_up(), 3);
+        c.scheduled += 1;
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn coverage_absorb_merges_and_dedups() {
+        let mut a = CoverageReport {
+            scheduled: 3,
+            answered: 2,
+            gave_up: 1,
+            quarantined_servers: vec![ip(1), ip(2)],
+            ..CoverageReport::default()
+        };
+        let b = CoverageReport {
+            scheduled: 2,
+            retried_answered: 1,
+            gave_up: 1,
+            retransmissions: 2,
+            quarantined_servers: vec![ip(2), ip(3)],
+            ..CoverageReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.scheduled, 5);
+        assert!(a.is_complete());
+        assert_eq!(a.quarantined_servers, vec![ip(1), ip(2), ip(3)]);
+    }
+
+    #[test]
+    fn engine_quarantine_skips_without_sending() {
+        let mut engine = ProbeEngine::new(QueryPlan::with_attempts(1).quarantine_after(1));
+        let mut net = Network::new(1);
+        let server = ip(9); // unregistered: every probe times out
+        net.register_external(ip(8));
+        let qname: Name = "probe.example".parse().unwrap();
+        // First probe exhausts attempts and trips the breaker.
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 77)
+            .is_none());
+        assert!(engine.health.is_quarantined(server));
+        let sent_after_first = net.stats().delivered + net.stats().dropped;
+        // Second probe is skipped entirely — no new traffic.
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 78)
+            .is_none());
+        assert_eq!(
+            net.stats().delivered + net.stats().dropped,
+            sent_after_first
+        );
+        assert_eq!(engine.coverage.scheduled, 2);
+        assert_eq!(engine.coverage.gave_up, 1);
+        assert_eq!(engine.coverage.skipped_quarantined, 1);
+        assert!(engine.coverage.is_complete());
+        assert_eq!(engine.coverage.quarantined_servers, vec![server]);
+    }
+
+    #[test]
+    fn take_coverage_resets_but_keeps_health() {
+        let mut engine = ProbeEngine::new(QueryPlan::with_attempts(1).quarantine_after(1));
+        let mut net = Network::new(2);
+        net.register_external(ip(8));
+        let qname: Name = "probe.example".parse().unwrap();
+        engine.query(&mut net, ip(8), ip(9), &qname, RecordType::A, 1);
+        let cov = engine.take_coverage();
+        assert_eq!(cov.scheduled, 1);
+        assert_eq!(engine.coverage, CoverageReport::default());
+        assert!(engine.health.is_quarantined(ip(9)));
+    }
+}

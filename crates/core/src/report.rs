@@ -103,6 +103,12 @@ pub struct Report {
     /// Malicious TXT URs that are email-related vs all malicious TXT URs
     /// (the paper's 90.95%).
     pub txt_email_related: (usize, usize),
+    /// Probe-level coverage accounting from the collection stage: how many
+    /// probes were scheduled, answered (first try or after retries), given
+    /// up, or skipped against quarantined servers. Defaults to an empty
+    /// report for callers that aggregate classified URs without a
+    /// collection run (e.g. unit fixtures).
+    pub coverage: crate::query::CoverageReport,
 }
 
 /// Build the report from classified URs and the analysis.
@@ -303,6 +309,7 @@ impl ReportBuilder {
             fig3c,
             fig3d,
             txt_email_related: (self.txt_email, self.txt_malicious),
+            coverage: crate::query::CoverageReport::default(),
         }
     }
 }
@@ -425,6 +432,45 @@ impl Report {
                 v,
                 pct(*v, flagged)
             );
+        }
+        s
+    }
+
+    /// Render the collection-stage coverage accounting: every scheduled
+    /// probe in exactly one bucket, so measured loss is visible next to the
+    /// measurement results it may have biased.
+    pub fn render_coverage(&self) -> String {
+        let c = &self.coverage;
+        let mut s = String::new();
+        let _ = writeln!(s, "Collection coverage ({} probes scheduled)", c.scheduled);
+        let _ = writeln!(
+            s,
+            "  answered first try   {:>9} ({:>6.2}%)",
+            c.answered,
+            pct(c.answered as usize, c.scheduled as usize)
+        );
+        let _ = writeln!(
+            s,
+            "  answered after retry {:>9} ({:>6.2}%)  [{} retransmissions]",
+            c.retried_answered,
+            pct(c.retried_answered as usize, c.scheduled as usize),
+            c.retransmissions
+        );
+        let _ = writeln!(
+            s,
+            "  gave up              {:>9} ({:>6.2}%)",
+            c.gave_up,
+            pct(c.gave_up as usize, c.scheduled as usize)
+        );
+        let _ = writeln!(
+            s,
+            "  skipped (quarantine) {:>9} ({:>6.2}%)  [{} servers quarantined]",
+            c.skipped_quarantined,
+            pct(c.skipped_quarantined as usize, c.scheduled as usize),
+            c.quarantined_servers.len()
+        );
+        if !c.is_complete() {
+            let _ = writeln!(s, "  WARNING: buckets do not sum to scheduled probes");
         }
         s
     }

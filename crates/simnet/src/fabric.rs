@@ -115,6 +115,10 @@ pub struct Network {
     latency: LatencyModel,
     faults: FaultPlan,
     rng: StdRng,
+    /// Seed for per-flow fault scheduling (see [`FaultPlan::per_flow`]).
+    fault_seed: u64,
+    /// Per-`(src, dst)` datagram counters driving per-flow fault decisions.
+    flow_counters: HashMap<(Ipv4Addr, Ipv4Addr), u64>,
     /// Traffic capture; enabled by default.
     pub trace: FlowLog,
     stats: NetStats,
@@ -133,6 +137,8 @@ impl Network {
             latency: LatencyModel::default(),
             faults: FaultPlan::reliable(),
             rng: StdRng::seed_from_u64(seed),
+            fault_seed: seed,
+            flow_counters: HashMap::new(),
             trace: FlowLog::new().with_payload_cap(2048),
             stats: NetStats::default(),
             seq: 0,
@@ -143,6 +149,19 @@ impl Network {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// The fault plan currently in force.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// Swap the fault plan mid-run. The measurement pipeline uses this to
+    /// confine loss to the scan phase: the scanner crosses the hostile
+    /// simulated Internet while the sandbox phase observes malware on a
+    /// local, reliable segment.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// Replace the latency model.
@@ -200,8 +219,34 @@ impl Network {
         self.enqueue_send(SimDuration::ZERO, dgram);
     }
 
+    /// One fault decision. In per-flow mode the decision derives from the
+    /// fabric seed, the `(src, dst)` pair, and that flow's own datagram
+    /// counter — independent of every other flow's traffic volume.
+    fn decide_fate(&mut self, dgram: &Datagram) -> FaultDecision {
+        if !self.faults.per_flow {
+            return self.faults.decide(&mut self.rng, dgram.payload.len());
+        }
+        let ctr = self
+            .flow_counters
+            .entry((dgram.src.ip, dgram.dst.ip))
+            .or_insert(0);
+        let nth = *ctr;
+        *ctr += 1;
+        let mut h = self.fault_seed ^ 0x9E37_79B9_7F4A_7C15;
+        h = h
+            .wrapping_add(u64::from(u32::from(dgram.src.ip)))
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h
+            .wrapping_add(u64::from(u32::from(dgram.dst.ip)))
+            .wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = h.wrapping_add(nth).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= h >> 32;
+        let mut rng = StdRng::seed_from_u64(h);
+        self.faults.decide(&mut rng, dgram.payload.len())
+    }
+
     fn enqueue_send(&mut self, extra_delay: SimDuration, dgram: Datagram) {
-        match self.faults.decide(&mut self.rng, dgram.payload.len()) {
+        match self.decide_fate(&dgram) {
             FaultDecision::Drop => {
                 self.trace.record(self.now, &dgram, Disposition::Dropped);
                 self.stats.dropped += 1;
@@ -547,7 +592,7 @@ mod tests {
                 drop_chance: 0.2,
                 corrupt_chance: 0.2,
                 duplicate_chance: 0.1,
-                size_limit: 0,
+                ..FaultPlan::default()
             });
             net.add_node(ip(2), Box::new(Echo));
             for i in 0..20u8 {
@@ -590,6 +635,86 @@ mod tests {
         let mut net = Network::new(1);
         net.add_node(ip(2), Box::new(Echo));
         net.add_node(ip(2), Box::new(Echo));
+    }
+
+    #[test]
+    fn set_faults_switches_mid_run() {
+        let mut net = Network::new(1);
+        net.register_external(ip(4));
+        assert_eq!(net.faults(), FaultPlan::reliable());
+        net.set_faults(FaultPlan::lossy(1.0));
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(4), 1),
+            vec![1],
+        ));
+        net.settle();
+        assert_eq!(net.stats().dropped, 1);
+        net.set_faults(FaultPlan::reliable());
+        net.send(Datagram::udp(
+            Endpoint::new(ip(1), 1),
+            Endpoint::new(ip(4), 1),
+            vec![2],
+        ));
+        net.settle();
+        assert_eq!(net.take_inbox(ip(4)).len(), 1);
+    }
+
+    /// In per-flow mode, one flow's fate sequence must not depend on how
+    /// much traffic other flows push in between.
+    fn per_flow_fates(seed: u64, interleave: usize) -> Vec<bool> {
+        let mut net = Network::new(seed).with_faults(FaultPlan::lossy(0.5).scheduled_per_flow());
+        net.register_external(ip(4));
+        net.register_external(ip(5));
+        let mut delivered_before = 0;
+        let mut fates = Vec::new();
+        for i in 0..30u8 {
+            for _ in 0..interleave {
+                net.send(Datagram::udp(
+                    Endpoint::new(ip(2), 9),
+                    Endpoint::new(ip(5), 9),
+                    vec![0xEE],
+                ));
+            }
+            net.send(Datagram::udp(
+                Endpoint::new(ip(1), 1),
+                Endpoint::new(ip(4), 1),
+                vec![i],
+            ));
+            net.settle();
+            let now = net.take_inbox(ip(4)).len();
+            fates.push(now > delivered_before || now > 0);
+            delivered_before = now;
+            net.take_inbox(ip(4));
+            net.take_inbox(ip(5));
+        }
+        fates
+    }
+
+    #[test]
+    fn per_flow_fates_ignore_cross_traffic() {
+        assert_eq!(per_flow_fates(11, 0), per_flow_fates(11, 3));
+        // ...but still depend on the fabric seed.
+        assert_ne!(per_flow_fates(11, 0), per_flow_fates(12, 0));
+    }
+
+    #[test]
+    fn per_flow_retransmission_draws_fresh_fate() {
+        // drop_chance 0.5: across 64 datagrams of one flow both fates must
+        // occur, i.e. the per-flow counter really advances the decision.
+        let mut net = Network::new(7).with_faults(FaultPlan::lossy(0.5).scheduled_per_flow());
+        net.register_external(ip(4));
+        for i in 0..64u8 {
+            net.send(Datagram::udp(
+                Endpoint::new(ip(1), 1),
+                Endpoint::new(ip(4), 1),
+                vec![i],
+            ));
+        }
+        net.settle();
+        let got = net.take_inbox(ip(4)).len();
+        assert!(got > 0 && got < 64, "delivered {got}/64");
+        assert_eq!(net.stats().dropped as usize, 64 - got);
     }
 
     #[test]

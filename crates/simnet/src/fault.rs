@@ -19,6 +19,13 @@ pub struct FaultPlan {
     pub duplicate_chance: f64,
     /// Datagrams with payloads larger than this are dropped (0 = no limit).
     pub size_limit: usize,
+    /// Schedule faults per `(src, dst)` flow instead of from the fabric's
+    /// global RNG stream: the n-th datagram of a flow always meets the same
+    /// fate for a given fabric seed, no matter how traffic on *other* flows
+    /// interleaves. This makes loss patterns comparable across runs that
+    /// differ only in retry policy — a retransmission draws a fresh
+    /// per-flow decision without shifting any other flow's lottery.
+    pub per_flow: bool,
 }
 
 impl Default for FaultPlan {
@@ -28,6 +35,7 @@ impl Default for FaultPlan {
             corrupt_chance: 0.0,
             duplicate_chance: 0.0,
             size_limit: 0,
+            per_flow: false,
         }
     }
 }
@@ -44,6 +52,13 @@ impl FaultPlan {
             drop_chance,
             ..FaultPlan::default()
         }
+    }
+
+    /// Switch this plan to per-flow fault scheduling (see
+    /// [`FaultPlan::per_flow`]).
+    pub fn scheduled_per_flow(mut self) -> Self {
+        self.per_flow = true;
+        self
     }
 
     /// What should happen to one datagram.
@@ -168,7 +183,7 @@ mod tests {
             drop_chance: 0.5,
             corrupt_chance: 0.5,
             duplicate_chance: 0.5,
-            size_limit: 0,
+            ..FaultPlan::default()
         };
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -61,6 +61,24 @@ fn ip_subset_alone_covers_most_delegated_records() {
 }
 
 #[test]
+fn guarantee_holds_under_one_percent_loss() {
+    // The paper's zero-FN claim has to survive a real network: under 1%
+    // drop with retries, the replay still answers every delegated probe
+    // and still labels nothing suspicious.
+    let mut world = World::generate(WorldConfig::small());
+    let cfg = HunterConfig::fast()
+        .with_retries(5)
+        .with_scan_faults(simnet::FaultPlan::lossy(0.01).scheduled_per_flow());
+    let out = run(&mut world, &cfg);
+    assert!(
+        out.coverage.is_complete(),
+        "lossy run must account for every probe"
+    );
+    let fn_count = evaluate_false_negatives(&mut world, &out.correct_db, &out.protective_db, &cfg);
+    assert_eq!(fn_count, 0, "1% loss must not create false negatives");
+}
+
+#[test]
 fn guarantee_holds_across_seeds() {
     for seed in [1u64, 99, 31_337] {
         let mut world = World::generate(WorldConfig::small().with_seed(seed));
