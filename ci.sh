@@ -17,6 +17,9 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "== smoke: cargo run -p bench --bin table1 =="
 cargo run --release -p bench --bin table1
 
@@ -24,10 +27,34 @@ echo "== fault matrix: cargo test --release --test fault_tolerance =="
 cargo test -q --release --test fault_tolerance
 cargo test -q --release --test fault_tolerance -- --ignored
 
+echo "== smoke: urhunter --metrics-out =="
+METRICS_OUT=$(mktemp /tmp/urhunter-metrics.XXXXXX.jsonl)
+cargo run --release -q -p urhunter --bin urhunter -- --metrics-out "$METRICS_OUT" >/dev/null
+# The export must be non-empty, valid JSONL (one object per line), and
+# carry the probe funnel; the binary itself exits non-zero if the
+# registry's probe_scheduled disagrees with the CoverageReport.
+test -s "$METRICS_OUT" || {
+    echo "ci.sh: metrics export is empty" >&2
+    exit 1
+}
+if grep -qv '^{.*}$' "$METRICS_OUT"; then
+    echo "ci.sh: metrics export has a non-JSON-object line" >&2
+    exit 1
+fi
+grep -q '"name":"probe_scheduled"' "$METRICS_OUT" || {
+    echo "ci.sh: metrics export is missing the probe funnel" >&2
+    exit 1
+}
+rm -f "$METRICS_OUT"
+
 echo "== smoke: cargo run -p bench --bin perf_snapshot =="
 cargo run --release -p bench --bin perf_snapshot
 grep -q '"pipeline_stream_ms"' BENCH_pipeline.json || {
     echo "ci.sh: BENCH_pipeline.json is missing pipeline_stream_ms" >&2
+    exit 1
+}
+grep -q '"metrics_overhead_ratio"' BENCH_pipeline.json || {
+    echo "ci.sh: BENCH_pipeline.json is missing metrics_overhead_ratio" >&2
     exit 1
 }
 # The reliable benchmark run must answer every probe: a non-zero gave_up

@@ -19,11 +19,16 @@
 //! independent of the retry policy). Probe accounting is printed after
 //! every run.
 //!
+//! `--metrics-out FILE` attaches the observability hub to the run, prints
+//! the metrics table, and writes every metric and traced event to FILE as
+//! JSON lines (see `crates/obs`).
+//!
 //! Examples:
 //!   urhunter --report all
 //!   urhunter --scale default --seed 7 --report table1
 //!   urhunter --scale default --batch-size 64 --parallelism 4
 //!   urhunter --fault-drop 0.05 --retries 5 --timeout 2000
+//!   urhunter --metrics-out metrics.jsonl
 //!   urhunter --extended --payload-match --pcap sandbox.pcap
 
 use std::process::ExitCode;
@@ -44,6 +49,7 @@ struct Args {
     payload_match: bool,
     ethics: bool,
     pcap: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -53,10 +59,13 @@ fn usage() -> ! {
          \u{20}               [--parallelism N] [--batch-size N]\n\
          \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
+         \u{20}               [--metrics-out FILE]\n\
          \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
          \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch;\n\
-         \u{20} --retries N attempts per probe (default 3), --timeout MS per attempt,\n\
-         \u{20} --fault-drop P injects drop probability P in [0,1] for the collection stages."
+         \u{20} --retries N attempts per probe (default 3, minimum 1), --timeout MS per\n\
+         \u{20} attempt (positive), --fault-drop P injects drop probability P in [0,1]\n\
+         \u{20} for the collection stages; --metrics-out FILE writes the observability\n\
+         \u{20} registry and event trace as JSON lines."
     );
     std::process::exit(2)
 }
@@ -76,6 +85,7 @@ fn parse_args() -> Args {
         payload_match: false,
         ethics: false,
         pcap: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -96,17 +106,29 @@ fn parse_args() -> Args {
             }
             "--retries" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                args.retries = Some(v.parse().unwrap_or_else(|_| usage()));
+                let n: u32 = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!(
+                        "--retries must be at least 1 (got 0): every probe needs one attempt"
+                    );
+                    usage()
+                }
+                args.retries = Some(n);
             }
             "--timeout" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                args.timeout_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+                let ms: u64 = v.parse().unwrap_or_else(|_| usage());
+                if ms == 0 {
+                    eprintln!("--timeout must be a positive number of milliseconds (got {v})");
+                    usage()
+                }
+                args.timeout_ms = Some(ms);
             }
             "--fault-drop" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 let p: f64 = v.parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&p) {
-                    eprintln!("--fault-drop must be in [0, 1]");
+                    eprintln!("--fault-drop must be a probability in [0, 1] (got {v})");
                     usage()
                 }
                 args.fault_drop = Some(p);
@@ -116,6 +138,7 @@ fn parse_args() -> Args {
             "--payload-match" => args.payload_match = true,
             "--ethics" => args.ethics = true,
             "--pcap" => args.pcap = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => args.metrics_out = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -168,6 +191,10 @@ fn main() -> ExitCode {
     if let Some(p) = args.fault_drop {
         hunter = hunter.with_scan_faults(simnet::FaultPlan::lossy(p).scheduled_per_flow());
     }
+    let hub = args.metrics_out.as_ref().map(|_| obs::Obs::shared());
+    if let Some(hub) = &hub {
+        hunter = hunter.with_obs(hub.clone());
+    }
 
     eprintln!(
         "generating world (scale={}, seed={})...",
@@ -181,6 +208,23 @@ fn main() -> ExitCode {
     );
     let out = run(&mut world, &hunter);
     eprint!("{}", out.report.render_coverage());
+    if let Some(hub) = &hub {
+        // Cross-check the two independent accounting paths before anything
+        // else (the §4.2 replay below adds probes to the registry): every
+        // probe the engine scheduled must appear in the registry funnel.
+        let scheduled = hub.registry().counter_value("probe_scheduled").unwrap_or(0);
+        if scheduled != out.coverage.scheduled {
+            eprintln!(
+                "metrics/coverage mismatch: probe_scheduled={scheduled} but coverage says {}",
+                out.coverage.scheduled
+            );
+            return ExitCode::FAILURE;
+        }
+        eprint!(
+            "{}",
+            urhunter::Report::render_metrics(&hub.registry().snapshot())
+        );
+    }
 
     match args.report.as_str() {
         "summary" => println!("{}", out.report.render_summary()),
@@ -204,6 +248,18 @@ fn main() -> ExitCode {
         other => {
             eprintln!("unknown report: {other}");
             return ExitCode::from(2);
+        }
+    }
+
+    if let (Some(path), Some(hub)) = (&args.metrics_out, &hub) {
+        // Written last so the export reflects the whole process (including
+        // the §4.2 replay when `--report all` ran it).
+        match std::fs::write(path, hub.to_jsonl()) {
+            Ok(()) => eprintln!("wrote metrics + events to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

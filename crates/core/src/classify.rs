@@ -391,18 +391,39 @@ pub fn classify_all(
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> Vec<ClassifiedUr> {
+    classify_all_observed(urs, correct, protective, metadata, history, cfg, None)
+}
+
+/// [`classify_all`] with optional [`AttrCacheMetrics`]: records how many
+/// distinct addresses the up-front index resolved and how many repeat
+/// mentions it served from cache. `None` costs one branch.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_all_observed(
+    urs: &[CollectedUr],
+    correct: &CorrectDb,
+    protective: &ProtectiveDb,
+    metadata: &NetDb,
+    history: &PassiveDns,
+    cfg: &ClassifyConfig,
+    cache: Option<&AttrCacheMetrics>,
+) -> Vec<ClassifiedUr> {
     let workers = Parallelism::from_knob(cfg.parallelism);
 
     // Distinct addresses across the batch, in first-seen order (the order
     // only affects scheduling, never results — the index is keyed by IP).
     let mut seen = HashSet::new();
     let mut distinct: Vec<Ipv4Addr> = Vec::new();
+    let mut mentions = 0u64;
     for ur in urs {
         for ip in ur_ips(ur) {
+            mentions += 1;
             if seen.insert(ip) {
                 distinct.push(ip);
             }
         }
+    }
+    if let Some(c) = cache {
+        c.record(mentions - distinct.len() as u64, distinct.len() as u64);
     }
     let resolved = par_map(&distinct, workers, |ip| {
         (*ip, AttrIndex::resolve(metadata, *ip))
@@ -414,6 +435,89 @@ pub fn classify_all(
     })
 }
 
+/// Metric name of the Appendix-B exclusion condition behind a correct
+/// verdict.
+fn reason_metric(reason: CorrectReason) -> &'static str {
+    match reason {
+        CorrectReason::IpSubset => "classify_correct_ip_subset",
+        CorrectReason::AsSubset => "classify_correct_as_subset",
+        CorrectReason::GeoSubset => "classify_correct_geo_subset",
+        CorrectReason::CertSubset => "classify_correct_cert_subset",
+        CorrectReason::PassiveDns => "classify_correct_pdns",
+        CorrectReason::Parked => "classify_correct_parked",
+        CorrectReason::Redirect => "classify_correct_redirect",
+        CorrectReason::TxtExact => "classify_correct_txt_exact",
+        CorrectReason::MxExact => "classify_correct_mx_exact",
+    }
+}
+
+/// Build the exclusion-rule funnel for one classified batch as a
+/// counters-only shard: verdict totals plus, for every correct verdict,
+/// the Appendix-B condition that excluded it.
+///
+/// A pure function of the batch, so both executors feed the same registry
+/// the same way: the batch path shards its whole output once, the
+/// streaming path shards per batch on the worker and merges in splice
+/// order. Every counter is sim-class — verdicts are bit-identical across
+/// executors by the pipeline's core invariant.
+pub fn classify_shard(batch: &[ClassifiedUr]) -> obs::MetricShard {
+    let mut shard = obs::MetricShard::new();
+    for c in batch {
+        shard.inc("classify_total");
+        match c.category {
+            UrCategory::Correct => {
+                shard.inc("classify_correct");
+                if let Some(reason) = c.correct_reason {
+                    shard.inc(reason_metric(reason));
+                }
+            }
+            UrCategory::Protective => shard.inc("classify_protective"),
+            // At this stage "suspicious" covers both: malicious promotion
+            // happens in analysis, after the funnel is recorded.
+            UrCategory::Unknown | UrCategory::Malicious => shard.inc("classify_suspicious"),
+        }
+    }
+    shard
+}
+
+/// Wall-class instrumentation for the attribute index.
+///
+/// Wall, not sim: under the streaming executor two workers can race to
+/// resolve the same address (both compute the same pure result; `absorb`
+/// keeps the first), so hit/resolve counts depend on thread timing even
+/// though classifications never do.
+#[derive(Debug, Clone)]
+pub struct AttrCacheMetrics {
+    hits: obs::Counter,
+    resolved: obs::Counter,
+}
+
+impl AttrCacheMetrics {
+    /// Register the `attr_cache_*` counters in `reg`. Idempotent.
+    pub fn register(reg: &obs::MetricsRegistry) -> Self {
+        use obs::Class::Wall;
+        AttrCacheMetrics {
+            hits: reg.counter("attr_cache_hits", Wall),
+            resolved: reg.counter("attr_cache_resolved", Wall),
+        }
+    }
+
+    fn record(&self, hits: u64, resolved: u64) {
+        self.hits.add(hits);
+        self.resolved.add(resolved);
+    }
+
+    /// Address lookups served without a fresh resolution.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Fresh attribute resolutions performed.
+    pub fn resolved(&self) -> u64 {
+        self.resolved.get()
+    }
+}
+
 /// The streaming entry point to suspicious-record determination.
 ///
 /// Where [`classify_all`] sees the whole UR set at once and resolves every
@@ -421,8 +525,9 @@ pub fn classify_all(
 /// collection is still driving the simulated clock on the main thread. Its
 /// [`AttrIndex`] grows incrementally: each batch's distinct new addresses
 /// are resolved once and absorbed into the shared index under a
-/// [`RwLock`], so addresses recurring across batches (shared C2s, CDN
-/// nodes, protective sinks) are still resolved exactly once per run.
+/// [`std::sync::RwLock`], so addresses recurring across batches (shared
+/// C2s, CDN nodes, protective sinks) are still resolved exactly once per
+/// run.
 ///
 /// Safe to call from several worker threads at once, and **bit-identical
 /// to the batch path** for every batch partition and thread count: the
@@ -436,6 +541,7 @@ pub struct StreamClassifier<'a> {
     history: &'a PassiveDns,
     cfg: &'a ClassifyConfig,
     attrs: std::sync::RwLock<AttrIndex>,
+    cache_metrics: Option<AttrCacheMetrics>,
 }
 
 impl<'a> StreamClassifier<'a> {
@@ -455,22 +561,41 @@ impl<'a> StreamClassifier<'a> {
             history,
             cfg,
             attrs: std::sync::RwLock::new(AttrIndex::default()),
+            cache_metrics: None,
         }
+    }
+
+    /// Record index hit/resolve counts into `metrics` as batches flow
+    /// through.
+    pub fn with_metrics(mut self, metrics: AttrCacheMetrics) -> Self {
+        self.cache_metrics = Some(metrics);
+        self
     }
 
     /// Resolve the batch's distinct new addresses outside any lock — two
     /// workers racing on the same address compute the same pure result, and
     /// `absorb` keeps the first — then fold them into the shared index.
     fn absorb_missing(&self, batch: &[CollectedUr]) {
-        let missing: Vec<Ipv4Addr> = {
+        let (missing, present): (Vec<Ipv4Addr>, u64) = {
             let attrs = self.attrs.read().expect("attr index lock");
             let mut seen = HashSet::new();
-            batch
+            let mut present = 0u64;
+            let missing = batch
                 .iter()
                 .flat_map(ur_ips)
-                .filter(|ip| !attrs.contains(*ip) && seen.insert(*ip))
-                .collect()
+                .filter(|ip| {
+                    if attrs.contains(*ip) {
+                        present += 1;
+                        return false;
+                    }
+                    seen.insert(*ip)
+                })
+                .collect();
+            (missing, present)
         };
+        if let Some(m) = &self.cache_metrics {
+            m.record(present, missing.len() as u64);
+        }
         if !missing.is_empty() {
             let resolved: Vec<(Ipv4Addr, netdb::IpAttrs)> = missing
                 .into_iter()
@@ -746,6 +871,48 @@ mod tests {
         f.cfg.use_cert_subset = false;
         let c = run(&f, &a_ur("site.com", "20.0.0.5", &["30.0.0.12"]));
         assert_eq!(c.category, UrCategory::Unknown);
+    }
+
+    #[test]
+    fn funnel_shard_counts_verdicts_and_reasons() {
+        let f = fixture();
+        let urs = vec![
+            a_ur("site.com", "20.0.0.1", &["30.0.0.10"]), // correct: ip subset
+            a_ur("site.com", "20.0.0.5", &["40.0.0.10"]), // suspicious
+            a_ur("anything.org", "20.0.0.1", &["20.0.255.1"]), // protective
+        ];
+        let out = classify_all(
+            &urs,
+            &f.correct,
+            &f.protective,
+            &f.metadata,
+            &f.history,
+            &f.cfg,
+        );
+        let reg = obs::MetricsRegistry::new();
+        reg.merge_shard(obs::Class::Sim, &classify_shard(&out));
+        assert_eq!(reg.counter_value("classify_total"), Some(3));
+        assert_eq!(reg.counter_value("classify_correct"), Some(1));
+        assert_eq!(reg.counter_value("classify_correct_ip_subset"), Some(1));
+        assert_eq!(reg.counter_value("classify_suspicious"), Some(1));
+        assert_eq!(reg.counter_value("classify_protective"), Some(1));
+    }
+
+    #[test]
+    fn stream_cache_metrics_count_hits_and_resolves() {
+        let f = fixture();
+        let reg = obs::MetricsRegistry::new();
+        let metrics = AttrCacheMetrics::register(&reg);
+        let sc = StreamClassifier::new(&f.correct, &f.protective, &f.metadata, &f.history, &f.cfg)
+            .with_metrics(metrics.clone());
+        let batch = vec![a_ur("site.com", "20.0.0.1", &["30.0.0.10", "30.0.0.11"])];
+        sc.classify_batch(&batch);
+        assert_eq!(metrics.resolved(), 2);
+        assert_eq!(metrics.hits(), 0);
+        // Same addresses again: all served from the index.
+        sc.classify_batch(&batch);
+        assert_eq!(metrics.resolved(), 2);
+        assert_eq!(metrics.hits(), 2);
     }
 
     #[test]

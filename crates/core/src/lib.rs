@@ -50,7 +50,10 @@ pub mod types;
 
 pub use analyze::{analyze, evidence_histogram, run_sandboxes, Analysis, AnalyzeConfig};
 pub use audit::{audit_provider, audit_table2, AuditRow};
-pub use classify::{classify_all, classify_ur, ClassifyConfig, StreamClassifier};
+pub use classify::{
+    classify_all, classify_all_observed, classify_shard, classify_ur, AttrCacheMetrics,
+    ClassifyConfig, StreamClassifier,
+};
 pub use collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_stream, select_nameservers,
     CollectConfig, QidGen, NS_SELECTION_THRESHOLD,

@@ -2,7 +2,10 @@
 //! malicious-behaviour analysis → report.
 
 use crate::analyze::{analyze, run_sandboxes, Analysis, AnalyzeConfig};
-use crate::classify::{classify_all, ClassifyConfig, StreamClassifier};
+use crate::classify::{
+    classify_all, classify_all_observed, classify_shard, AttrCacheMetrics, ClassifyConfig,
+    StreamClassifier,
+};
 use crate::collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_stream, query_one_ur,
     select_nameservers, CollectConfig, QidGen,
@@ -13,8 +16,7 @@ use crate::schedule::QueryScheduler;
 use crate::types::{ClassifiedUr, CollectedUr, CorrectDb, ProtectiveDb, UrCategory};
 use dnswire::RecordType;
 use simnet::{FaultPlan, SimDuration};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
 use worldgen::{NsInfo, World};
 
 /// Complete pipeline configuration.
@@ -61,6 +63,13 @@ pub struct HunterConfig {
     /// a local measurement and must stay clean). `None` leaves the world's
     /// fault plan untouched.
     pub scan_faults: Option<FaultPlan>,
+    /// Observability hub (see `crates/obs`): when set, every layer mirrors
+    /// its accounting into the hub's registry and event sink — fabric
+    /// datagram counters, the probe-funnel, classification verdicts, stage
+    /// spans, and executor overlap. `None` (the default) makes every
+    /// instrumentation site a single branch: no atomics touched, no clocks
+    /// read.
+    pub obs: Option<Arc<obs::Obs>>,
 }
 
 impl HunterConfig {
@@ -79,6 +88,7 @@ impl HunterConfig {
             keep_raw_collected: true,
             retry: QueryPlan::default(),
             scan_faults: None,
+            obs: None,
         }
     }
 
@@ -154,6 +164,12 @@ impl HunterConfig {
     /// (see [`HunterConfig::scan_faults`]).
     pub fn with_scan_faults(mut self, faults: FaultPlan) -> Self {
         self.scan_faults = Some(faults);
+        self
+    }
+
+    /// Attach an observability hub (see [`HunterConfig::obs`]).
+    pub fn with_obs(mut self, hub: Arc<obs::Obs>) -> Self {
+        self.obs = Some(hub);
         self
     }
 
@@ -249,7 +265,20 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     if let Some(faults) = cfg.scan_faults {
         world.net.set_faults(faults);
     }
+    // Observability: the fabric mirrors its datagram accounting into the
+    // hub (or stops, when this run carries none), and the probe engine
+    // banks its retry funnel there.
+    let obs = cfg.obs.as_deref();
+    world.net.set_obs(
+        cfg.obs
+            .as_ref()
+            .map(|h| simnet::FabricMetrics::register(h.registry())),
+    );
     let mut engine = ProbeEngine::new(cfg.retry);
+    if let Some(hub) = &cfg.obs {
+        engine = engine.with_obs(hub.clone());
+    }
+    let sp = obs.map(|h| h.span("collect_support", world.net.now().as_micros()));
     let protective_db = collect_protective(&mut world.net, &mut engine, &nameservers, &cfg.collect);
     let correct_db = collect_correct(
         &mut world.net,
@@ -259,12 +288,16 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         &targets,
         &cfg.collect,
     );
+    if let Some((s, h)) = sp.zip(obs) {
+        s.finish(h, world.net.now().as_micros());
+    }
 
     let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
     let classify_cfg = cfg.classify_cfg(world.config.today);
     let mut overlap = OverlapStats::default();
     let (mut collected, mut classified) = if cfg.stream_batch_size == 0 {
         // Legacy strict-batch path: materialize every UR, then classify.
+        let sp = obs.map(|h| h.span("collect", world.net.now().as_micros()));
         let collected = collect_urs(
             &mut world.net,
             &mut engine,
@@ -274,14 +307,32 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
             &cfg.collect,
             &mut scheduler,
         );
-        let classified = classify_all(
+        if let Some((s, h)) = sp.zip(obs) {
+            s.finish(h, world.net.now().as_micros());
+        }
+        let sp = obs.map(|h| h.span("classify", world.net.now().as_micros()));
+        let cache = obs.map(|h| AttrCacheMetrics::register(h.registry()));
+        let classified = classify_all_observed(
             &collected,
             &correct_db,
             &protective_db,
             &world.db,
             &world.pdns,
             &classify_cfg,
+            cache.as_ref(),
         );
+        if let Some(hub) = obs {
+            // The whole output is one shard here; the streaming path below
+            // shards per batch and merges in splice order — same sums, by
+            // the bit-identical-output invariant.
+            hub.registry()
+                .merge_shard(obs::Class::Sim, &classify_shard(&classified));
+        }
+        if let Some((s, h)) = sp.zip(obs) {
+            // Classification never touches the simulated network, so the
+            // sim delta is exactly zero on both executor paths.
+            s.finish(h, world.net.now().as_micros());
+        }
         (collected, classified)
     } else {
         // Streaming stage-overlapped path: the collector keeps driving the
@@ -289,28 +340,33 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         // batches to classification workers through a bounded channel; a
         // splicer re-establishes collection order, so the outcome is
         // bit-identical to the batch path above.
-        let streamer = StreamClassifier::new(
+        let mut streamer = StreamClassifier::new(
             &correct_db,
             &protective_db,
             &world.db,
             &world.pdns,
             &classify_cfg,
         );
+        if let Some(hub) = obs {
+            streamer = streamer.with_metrics(AttrCacheMetrics::register(hub.registry()));
+        }
         let workers = par::Parallelism::from_knob(cfg.parallelism);
         let capacity = workers.get().saturating_mul(2).max(4);
         let keep_raw = cfg.keep_raw_collected;
+        let shard_funnel = obs.is_some();
+        // Executor instrumentation (batch flow, queue depth, worker
+        // idle/busy/hidden split) lives in the hub when one is attached;
+        // the overlap summary below is read back from the same counters.
+        // Measurement only — results never depend on it.
+        let exec_obs = obs.map(|h| par::ExecObs::register(h.registry()));
+        let sp = obs.map(|h| h.span("collect", world.net.now().as_micros()));
         let net = &mut world.net;
         let registry = &world.registry;
         let engine = &mut engine;
-        // Overlap instrumentation: workers bank their classify wall time,
-        // split by whether collection was still producing when the batch
-        // finished. Measurement only — results never depend on it.
-        let collecting = AtomicBool::new(true);
-        let busy_ns = AtomicU64::new(0);
-        let hidden_ns = AtomicU64::new(0);
-        let out = par::ordered_pipeline(
+        let out = par::ordered_pipeline_obs(
             workers,
             capacity,
+            exec_obs.as_ref(),
             |sink: &mut dyn FnMut(Vec<CollectedUr>)| {
                 collect_urs_stream(
                     net,
@@ -323,11 +379,9 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
                     cfg.stream_batch_size,
                     sink,
                 );
-                collecting.store(false, Ordering::Release);
             },
             |batch: Vec<CollectedUr>| {
-                let t0 = Instant::now();
-                let out = if keep_raw {
+                let (raw, cls) = if keep_raw {
                     let classified = streamer.classify_batch(&batch);
                     (batch, classified)
                 } else {
@@ -335,23 +389,37 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
                     // instead of deep-cloning ~20k record vectors per run.
                     (Vec::new(), streamer.classify_batch_owned(batch))
                 };
-                let dt = t0.elapsed().as_nanos() as u64;
-                busy_ns.fetch_add(dt, Ordering::Relaxed);
-                if collecting.load(Ordering::Acquire) {
-                    hidden_ns.fetch_add(dt, Ordering::Relaxed);
-                }
-                out
+                // The verdict funnel is sharded on the worker and merged
+                // in splice order by the fold — counters-only, so the
+                // sums match the batch path exactly.
+                let shard = shard_funnel.then(|| classify_shard(&cls));
+                (raw, cls, shard)
             },
             (Vec::new(), Vec::new()),
-            |acc: &mut (Vec<CollectedUr>, Vec<ClassifiedUr>), (raw, cls)| {
+            |acc: &mut (Vec<CollectedUr>, Vec<ClassifiedUr>), (raw, cls, shard)| {
                 acc.0.extend(raw);
                 acc.1.extend(cls);
+                if let (Some(shard), Some(hub)) = (shard, obs) {
+                    hub.registry().merge_shard(obs::Class::Sim, &shard);
+                }
             },
         );
-        overlap = OverlapStats {
-            classify_busy_ms: busy_ns.load(Ordering::Relaxed) as f64 / 1e6,
-            classify_hidden_ms: hidden_ns.load(Ordering::Relaxed) as f64 / 1e6,
-        };
+        if let Some(m) = &exec_obs {
+            overlap = OverlapStats {
+                classify_busy_ms: m.worker_busy_us() as f64 / 1e3,
+                classify_hidden_ms: m.worker_hidden_us() as f64 / 1e3,
+            };
+        }
+        if let Some((s, h)) = sp.zip(obs) {
+            s.finish(h, world.net.now().as_micros());
+        }
+        // Path parity: the batch executor records a classify span, so this
+        // one does too — its sim delta is exactly zero on both (classifying
+        // never touches the simulated network).
+        let sp = obs.map(|h| h.span("classify", world.net.now().as_micros()));
+        if let Some((s, h)) = sp.zip(obs) {
+            s.finish(h, world.net.now().as_micros());
+        }
         out
     };
     // Collection is done: restore the fabric's fault plan before the local
@@ -365,6 +433,7 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
 
     let analyze_cfg = cfg.analyze_cfg();
     let samples = world.samples.clone();
+    let sp = obs.map(|h| h.span("analyze", world.net.now().as_micros()));
     let (reports, ids_malicious) = run_sandboxes(
         &mut world.net,
         &world.sandbox,
@@ -380,8 +449,15 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         &world.payload_sigs,
         &analyze_cfg,
     );
+    if let Some((s, h)) = sp.zip(obs) {
+        s.finish(h, world.net.now().as_micros());
+    }
+    let sp = obs.map(|h| h.span("report", world.net.now().as_micros()));
     let mut report = build_report(&classified, &analysis, &world.intel);
     report.coverage = coverage.clone();
+    if let Some((s, h)) = sp.zip(obs) {
+        s.finish(h, world.net.now().as_micros());
+    }
 
     RunOutput {
         nameservers,
@@ -436,6 +512,11 @@ pub fn evaluate_false_negatives(
         world.net.set_faults(faults);
     }
     let mut engine = ProbeEngine::new(cfg.retry);
+    if let Some(hub) = &cfg.obs {
+        // Same funnel as the bulk scan: the replay's probes land in the
+        // same registry cells (registration is idempotent).
+        engine = engine.with_obs(hub.clone());
+    }
     for (ti, domain) in targets.iter().enumerate() {
         let Some(delegation) = world.registry.delegation_of(domain).map(|d| d.to_vec()) else {
             continue;

@@ -43,6 +43,12 @@ pub struct QueryPlan {
     /// Consecutive failures after which a nameserver is quarantined and no
     /// further probes are sent to it (0 disables the circuit breaker).
     pub quarantine_threshold: u32,
+    /// Recovery knob: after this many probes have been skipped for a
+    /// quarantined server, the next probe is sent as a single-attempt
+    /// health probe — if it is answered the server re-enters rotation
+    /// ([`NsHealth::release`]). 0 (the default) keeps quarantine permanent
+    /// for the run, the pre-recovery behavior.
+    pub quarantine_cooldown: u32,
 }
 
 impl Default for QueryPlan {
@@ -54,6 +60,7 @@ impl Default for QueryPlan {
             backoff_max: SimDuration::from_secs(8),
             backoff_seed: DEFAULT_BACKOFF_SEED,
             quarantine_threshold: 8,
+            quarantine_cooldown: 0,
         }
     }
 }
@@ -98,6 +105,12 @@ impl QueryPlan {
         self
     }
 
+    /// Override the quarantine cooldown (0 = quarantine is permanent).
+    pub fn cooldown_after(mut self, skips: u32) -> Self {
+        self.quarantine_cooldown = skips;
+        self
+    }
+
     /// Deterministic backoff delay before retry number `attempt`
     /// (1-based: `attempt = 1` is the wait before the first retransmission).
     ///
@@ -129,6 +142,7 @@ impl QueryPlan {
 pub struct NsHealth {
     consecutive_failures: HashMap<Ipv4Addr, u32>,
     quarantined: BTreeSet<Ipv4Addr>,
+    skipped_since_quarantine: HashMap<Ipv4Addr, u32>,
 }
 
 impl NsHealth {
@@ -153,9 +167,32 @@ impl NsHealth {
         let streak = self.consecutive_failures.entry(server).or_insert(0);
         *streak += 1;
         if threshold > 0 && *streak >= threshold && self.quarantined.insert(server) {
+            self.skipped_since_quarantine.remove(&server);
             return true;
         }
         false
+    }
+
+    /// Count one probe skipped because `server` is quarantined; returns the
+    /// skip streak including this one. Drives the cooldown window.
+    pub fn note_skipped(&mut self, server: Ipv4Addr) -> u32 {
+        let n = self.skipped_since_quarantine.entry(server).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Restart the cooldown window for a still-quarantined server (a
+    /// health probe just failed; wait a full cooldown before the next one).
+    pub fn reset_skip_window(&mut self, server: Ipv4Addr) {
+        self.skipped_since_quarantine.remove(&server);
+    }
+
+    /// Release a server from quarantine: it re-enters rotation with a clean
+    /// failure streak. Returns `true` if the server was quarantined.
+    pub fn release(&mut self, server: Ipv4Addr) -> bool {
+        self.consecutive_failures.remove(&server);
+        self.skipped_since_quarantine.remove(&server);
+        self.quarantined.remove(&server)
     }
 
     /// Servers currently quarantined, in address order.
@@ -222,6 +259,46 @@ impl CoverageReport {
     }
 }
 
+/// Handles into an [`obs`] registry mirroring every coverage bucket, plus
+/// the hub itself for quarantine/release sink events. All counters are
+/// [`obs::Class::Sim`]: collection drives the simulated network on one
+/// thread in every executor, so the probe funnel is part of the
+/// deterministic fingerprint.
+#[derive(Debug, Clone)]
+struct EngineObs {
+    hub: std::sync::Arc<obs::Obs>,
+    scheduled: obs::Counter,
+    answered_first: obs::Counter,
+    answered_retried: obs::Counter,
+    gave_up: obs::Counter,
+    skipped_quarantined: obs::Counter,
+    retransmissions: obs::Counter,
+    backoff_wait_us: obs::Counter,
+    ns_quarantined: obs::Counter,
+    ns_released: obs::Counter,
+    attempts: obs::Histogram,
+}
+
+impl EngineObs {
+    fn register(hub: std::sync::Arc<obs::Obs>) -> Self {
+        use obs::Class::Sim;
+        let reg = hub.registry();
+        EngineObs {
+            scheduled: reg.counter("probe_scheduled", Sim),
+            answered_first: reg.counter("probe_answered_first", Sim),
+            answered_retried: reg.counter("probe_answered_retried", Sim),
+            gave_up: reg.counter("probe_gave_up", Sim),
+            skipped_quarantined: reg.counter("probe_skipped_quarantined", Sim),
+            retransmissions: reg.counter("probe_retransmissions", Sim),
+            backoff_wait_us: reg.counter("probe_backoff_wait_us", Sim),
+            ns_quarantined: reg.counter("probe_ns_quarantined", Sim),
+            ns_released: reg.counter("probe_ns_released", Sim),
+            attempts: reg.histogram("probe_attempts", Sim, &[1, 2, 3, 4, 6, 8]),
+            hub,
+        }
+    }
+}
+
 /// The retrying query engine: one instance per collection run.
 #[derive(Debug)]
 pub struct ProbeEngine {
@@ -231,6 +308,7 @@ pub struct ProbeEngine {
     pub health: NsHealth,
     /// Accounting of everything scheduled so far.
     pub coverage: CoverageReport,
+    obs: Option<EngineObs>,
 }
 
 impl ProbeEngine {
@@ -240,7 +318,16 @@ impl ProbeEngine {
             plan,
             health: NsHealth::new(),
             coverage: CoverageReport::default(),
+            obs: None,
         }
+    }
+
+    /// Mirror every coverage bucket into `hub`'s registry (`probe_*`
+    /// family) and emit quarantine/release events into its sink. Without
+    /// this, observability costs one branch per bucket update.
+    pub fn with_obs(mut self, hub: std::sync::Arc<obs::Obs>) -> Self {
+        self.obs = Some(EngineObs::register(hub));
+        self
     }
 
     /// Engine that reproduces pre-retry behavior exactly: one attempt,
@@ -263,6 +350,12 @@ impl ProbeEngine {
     /// to `plan.attempts` times, reusing `qid` so a late reply to an earlier
     /// transmission still matches. Every call lands in exactly one
     /// [`CoverageReport`] bucket.
+    ///
+    /// For a quarantined server the probe is normally skipped; with a
+    /// non-zero [`QueryPlan::quarantine_cooldown`], every `cooldown`-th
+    /// skipped probe is instead sent as a single-attempt health probe. An
+    /// answer releases the server back into rotation; a timeout restarts
+    /// the cooldown window.
     pub fn query(
         &mut self,
         net: &mut Network,
@@ -273,9 +366,20 @@ impl ProbeEngine {
         qid: u16,
     ) -> Option<Message> {
         self.coverage.scheduled += 1;
+        if let Some(o) = &self.obs {
+            o.scheduled.inc();
+        }
         if self.health.is_quarantined(server_ip) {
-            self.coverage.skipped_quarantined += 1;
-            return None;
+            let cooldown = self.plan.quarantine_cooldown;
+            let probe_due = cooldown > 0 && self.health.note_skipped(server_ip) >= cooldown;
+            if !probe_due {
+                self.coverage.skipped_quarantined += 1;
+                if let Some(o) = &self.obs {
+                    o.skipped_quarantined.inc();
+                }
+                return None;
+            }
+            return self.health_probe(net, client_ip, server_ip, qname, qtype, qid);
         }
         let key = Self::probe_key(server_ip, qname, qtype, qid);
         let attempts = self.plan.attempts.max(1);
@@ -288,6 +392,10 @@ impl ProbeEngine {
                 let deadline = net.now() + wait;
                 net.run_until(deadline);
                 self.coverage.retransmissions += 1;
+                if let Some(o) = &self.obs {
+                    o.retransmissions.inc();
+                    o.backoff_wait_us.add(wait.as_micros());
+                }
             }
             if let Some(resp) = authdns::dns_query_with_timeout(
                 net,
@@ -303,16 +411,86 @@ impl ProbeEngine {
                 } else {
                     self.coverage.retried_answered += 1;
                 }
+                if let Some(o) = &self.obs {
+                    if attempt == 1 {
+                        o.answered_first.inc();
+                    } else {
+                        o.answered_retried.inc();
+                    }
+                    o.attempts.observe(u64::from(attempt));
+                }
                 self.health.record_success(server_ip);
                 return Some(resp);
             }
         }
         self.coverage.gave_up += 1;
+        if let Some(o) = &self.obs {
+            o.gave_up.inc();
+            o.attempts.observe(u64::from(attempts));
+        }
         if self
             .health
             .record_failure(server_ip, self.plan.quarantine_threshold)
         {
-            self.coverage.quarantined_servers.push(server_ip);
+            // A released-then-requarantined server must not appear twice in
+            // the historical list.
+            if !self.coverage.quarantined_servers.contains(&server_ip) {
+                self.coverage.quarantined_servers.push(server_ip);
+            }
+            if let Some(o) = &self.obs {
+                o.ns_quarantined.inc();
+                o.hub.sink().push(
+                    Some(net.now().as_micros()),
+                    "quarantine",
+                    &server_ip.to_string(),
+                    format!("streak={}", self.health.failure_streak(server_ip)),
+                );
+            }
+        }
+        None
+    }
+
+    /// Single-attempt health probe against a quarantined server: an answer
+    /// releases it, a timeout restarts the cooldown window. Lands in the
+    /// `answered` or `gave_up` bucket like any other probe.
+    fn health_probe(
+        &mut self,
+        net: &mut Network,
+        client_ip: Ipv4Addr,
+        server_ip: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        qid: u16,
+    ) -> Option<Message> {
+        if let Some(resp) = authdns::dns_query_with_timeout(
+            net,
+            client_ip,
+            server_ip,
+            qname,
+            qtype,
+            qid,
+            self.plan.timeout,
+        ) {
+            self.coverage.answered += 1;
+            self.health.release(server_ip);
+            if let Some(o) = &self.obs {
+                o.answered_first.inc();
+                o.attempts.observe(1);
+                o.ns_released.inc();
+                o.hub.sink().push(
+                    Some(net.now().as_micros()),
+                    "release",
+                    &server_ip.to_string(),
+                    "health probe answered".to_string(),
+                );
+            }
+            return Some(resp);
+        }
+        self.coverage.gave_up += 1;
+        self.health.reset_skip_window(server_ip);
+        if let Some(o) = &self.obs {
+            o.gave_up.inc();
+            o.attempts.observe(1);
         }
         None
     }
@@ -404,6 +582,29 @@ mod tests {
     }
 
     #[test]
+    fn health_quarantine_release_requarantine() {
+        let mut h = NsHealth::new();
+        let s = ip(4);
+        // Quarantine after 2 consecutive failures.
+        assert!(!h.record_failure(s, 2));
+        assert!(h.record_failure(s, 2));
+        assert!(h.is_quarantined(s));
+        assert_eq!(h.note_skipped(s), 1);
+        assert_eq!(h.note_skipped(s), 2);
+        // Release: back in rotation, streaks clean.
+        assert!(h.release(s));
+        assert!(!h.is_quarantined(s));
+        assert_eq!(h.failure_streak(s), 0);
+        assert!(!h.release(s), "double release reports not-quarantined");
+        // Skip window restarted: the counter begins at 1 again.
+        // Re-quarantine requires a full fresh streak and is reported as new.
+        assert!(!h.record_failure(s, 2));
+        assert!(h.record_failure(s, 2));
+        assert!(h.is_quarantined(s));
+        assert_eq!(h.note_skipped(s), 1, "skip window reset by release");
+    }
+
+    #[test]
     fn coverage_accounting_invariant() {
         let mut c = CoverageReport {
             scheduled: 10,
@@ -445,6 +646,78 @@ mod tests {
     }
 
     #[test]
+    fn coverage_absorb_into_empty_is_identity() {
+        let src = CoverageReport {
+            scheduled: 7,
+            answered: 4,
+            retried_answered: 1,
+            gave_up: 1,
+            skipped_quarantined: 1,
+            retransmissions: 3,
+            quarantined_servers: vec![ip(2), ip(5)],
+        };
+        let mut empty = CoverageReport::default();
+        empty.absorb(&src);
+        assert_eq!(empty, src);
+        assert!(empty.is_complete());
+    }
+
+    #[test]
+    fn coverage_absorb_two_disjoint_reports_sums_exactly() {
+        let a = CoverageReport {
+            scheduled: 4,
+            answered: 3,
+            gave_up: 1,
+            retransmissions: 1,
+            quarantined_servers: vec![ip(1)],
+            ..CoverageReport::default()
+        };
+        let b = CoverageReport {
+            scheduled: 6,
+            answered: 2,
+            retried_answered: 2,
+            skipped_quarantined: 2,
+            retransmissions: 5,
+            quarantined_servers: vec![ip(6)],
+            ..CoverageReport::default()
+        };
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        // Absorb of disjoint reports commutes field by field.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.scheduled, 10);
+        assert_eq!(ab.total_answered(), 7);
+        assert_eq!(ab.total_gave_up(), 3);
+        assert_eq!(ab.retransmissions, 6);
+        assert_eq!(ab.quarantined_servers, vec![ip(1), ip(6)]);
+        assert!(ab.is_complete());
+    }
+
+    #[test]
+    fn coverage_complete_and_incomplete_absorb_to_incomplete() {
+        let complete = CoverageReport {
+            scheduled: 3,
+            answered: 3,
+            ..CoverageReport::default()
+        };
+        let incomplete = CoverageReport {
+            scheduled: 5,
+            answered: 2,
+            ..CoverageReport::default()
+        };
+        assert!(complete.is_complete());
+        assert!(!incomplete.is_complete());
+        let mut merged = complete.clone();
+        merged.absorb(&incomplete);
+        assert!(
+            !merged.is_complete(),
+            "absorbing an incomplete report cannot restore completeness"
+        );
+    }
+
+    #[test]
     fn engine_quarantine_skips_without_sending() {
         let mut engine = ProbeEngine::new(QueryPlan::with_attempts(1).quarantine_after(1));
         let mut net = Network::new(1);
@@ -470,6 +743,112 @@ mod tests {
         assert_eq!(engine.coverage.skipped_quarantined, 1);
         assert!(engine.coverage.is_complete());
         assert_eq!(engine.coverage.quarantined_servers, vec![server]);
+    }
+
+    /// Minimal authoritative responder: answers every well-formed query
+    /// with an empty NOERROR response (enough for the engine to count an
+    /// answer and reset the breaker).
+    struct Responder;
+    impl simnet::Node for Responder {
+        fn handle(
+            &mut self,
+            _now: simnet::SimTime,
+            dgram: &simnet::Datagram,
+            out: &mut simnet::Actions,
+        ) {
+            let Ok(q) = Message::decode(&dgram.payload) else {
+                return;
+            };
+            if q.flags.response {
+                return;
+            }
+            let resp = Message::response_to(&q, dnswire::Rcode::NoError);
+            if let Ok(bytes) = resp.encode() {
+                out.send(dgram.reply(bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_cooldown_releases_recovered_server() {
+        use simnet::FaultPlan;
+        // Quarantine on the first failure; health-probe after 2 skips.
+        let mut engine = ProbeEngine::new(
+            QueryPlan::with_attempts(1)
+                .quarantine_after(1)
+                .cooldown_after(2),
+        );
+        let mut net = Network::new(5);
+        let server = ip(9);
+        net.add_node(server, Box::new(Responder));
+        let qname: Name = "probe.example".parse().unwrap();
+        let probe = |engine: &mut ProbeEngine, net: &mut Network, qid| {
+            engine.query(net, ip(8), server, &qname, RecordType::A, qid)
+        };
+
+        // Outage: full loss -> the probe times out and trips the breaker.
+        net.set_faults(FaultPlan::lossy(1.0));
+        assert!(probe(&mut engine, &mut net, 1).is_none());
+        assert!(engine.health.is_quarantined(server));
+
+        // Server recovers, but the engine must sit out the cooldown first.
+        net.set_faults(FaultPlan::reliable());
+        assert!(probe(&mut engine, &mut net, 2).is_none(), "skip 1");
+        assert_eq!(engine.coverage.skipped_quarantined, 1);
+        // Second quarantined probe reaches the cooldown: sent as a health
+        // probe, answered, and the server re-enters rotation.
+        assert!(probe(&mut engine, &mut net, 3).is_some());
+        assert!(!engine.health.is_quarantined(server));
+        // Normal service resumes.
+        assert!(probe(&mut engine, &mut net, 4).is_some());
+
+        // Re-quarantine on a fresh outage; the server appears only once in
+        // the historical quarantine list.
+        net.set_faults(FaultPlan::lossy(1.0));
+        assert!(probe(&mut engine, &mut net, 5).is_none());
+        assert!(engine.health.is_quarantined(server));
+        assert_eq!(engine.coverage.quarantined_servers, vec![server]);
+
+        let cov = &engine.coverage;
+        assert_eq!(cov.scheduled, 5);
+        assert_eq!(cov.answered, 2);
+        assert_eq!(cov.gave_up, 2);
+        assert_eq!(cov.skipped_quarantined, 1);
+        assert!(cov.is_complete());
+    }
+
+    #[test]
+    fn engine_cooldown_failure_restarts_window() {
+        let mut engine = ProbeEngine::new(
+            QueryPlan::with_attempts(1)
+                .quarantine_after(1)
+                .cooldown_after(2),
+        );
+        let mut net = Network::new(6);
+        let server = ip(9); // unregistered: every transmission times out
+        net.register_external(ip(8));
+        let qname: Name = "probe.example".parse().unwrap();
+        let probe = |engine: &mut ProbeEngine, net: &mut Network, qid| {
+            engine.query(net, ip(8), server, &qname, RecordType::A, qid)
+        };
+        assert!(probe(&mut engine, &mut net, 1).is_none()); // quarantined
+        let traffic =
+            |net: &Network| net.stats().delivered + net.stats().dropped + net.stats().no_route;
+        assert!(probe(&mut engine, &mut net, 2).is_none()); // skip 1
+        let before = traffic(&net);
+        assert!(probe(&mut engine, &mut net, 3).is_none()); // health probe, fails
+        assert!(traffic(&net) > before, "health probe must hit the wire");
+        assert!(
+            engine.health.is_quarantined(server),
+            "failed health probe keeps quarantine"
+        );
+        // Window restarted: the very next probe is a silent skip again.
+        let before = traffic(&net);
+        assert!(probe(&mut engine, &mut net, 4).is_none());
+        assert_eq!(traffic(&net), before, "skip sends nothing");
+        assert_eq!(engine.coverage.skipped_quarantined, 2);
+        assert_eq!(engine.coverage.gave_up, 2);
+        assert!(engine.coverage.is_complete());
     }
 
     #[test]

@@ -475,6 +475,47 @@ impl Report {
         s
     }
 
+    /// Render an observability snapshot as an aligned text table: one row
+    /// per metric with its class (`sim` is deterministic, `wall` is
+    /// host-timing), kind, and value — histograms show their count, sum,
+    /// mean, and max.
+    pub fn render_metrics(snapshot: &obs::MetricsSnapshot) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Metrics ({} registered)", snapshot.entries.len());
+        let width = snapshot
+            .entries
+            .iter()
+            .map(|m| m.name.len())
+            .max()
+            .unwrap_or(0);
+        for m in &snapshot.entries {
+            let value = match &m.data {
+                obs::MetricData::Counter(v) => format!("{v}"),
+                obs::MetricData::Gauge(v) => format!("{v}"),
+                obs::MetricData::Histogram(h) => {
+                    let mean = if h.count == 0 {
+                        0.0
+                    } else {
+                        h.sum as f64 / h.count as f64
+                    };
+                    format!(
+                        "count={} sum={} mean={:.2} max={}",
+                        h.count, h.sum, mean, h.max
+                    )
+                }
+            };
+            let _ = writeln!(
+                s,
+                "  {:<width$}  [{:<4}]  {}",
+                m.name,
+                m.class.as_str(),
+                value,
+                width = width
+            );
+        }
+        s
+    }
+
     /// One-paragraph summary (totals + headline shares).
     pub fn render_summary(&self) -> String {
         let t = &self.totals;

@@ -1,0 +1,111 @@
+//! Deterministic observability for the URHunter pipeline.
+//!
+//! The crate bundles three pieces behind one [`Obs`] handle:
+//!
+//! - a [`MetricsRegistry`] of counters, gauges, and fixed-bucket
+//!   histograms, each tagged [`Class::Sim`] (derived from the simulated
+//!   world, bit-identical across worker counts, batch sizes, and executor
+//!   strategies) or [`Class::Wall`] (host-time performance data, never
+//!   part of the deterministic fingerprint);
+//! - dual-clock [`StageSpan`]s that record a stage's simulated and
+//!   wall-clock durations into segregated metrics;
+//! - a bounded [`EventSink`] ring buffer for discrete events, exported as
+//!   JSONL ([`render_jsonl`]) or Prometheus text ([`render_prometheus`]).
+//!
+//! Observability is strictly opt-in: pipeline layers carry an
+//! `Option<Arc<Obs>>` and the disabled path is a branch on `None` — no
+//! registry, no atomics, no allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod sink;
+mod span;
+
+pub use export::{render_jsonl, render_prometheus};
+pub use metrics::{
+    Class, Counter, Gauge, Histogram, HistogramData, MetricData, MetricShard, MetricValue,
+    MetricsRegistry, MetricsSnapshot,
+};
+pub use sink::{EventSink, ObsEvent, DEFAULT_SINK_CAPACITY};
+pub use span::StageSpan;
+
+use std::sync::Arc;
+
+/// One observability hub: a registry plus an event sink, shared across the
+/// whole pipeline as an `Arc<Obs>`.
+#[derive(Default)]
+pub struct Obs {
+    registry: MetricsRegistry,
+    sink: EventSink,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.registry.snapshot().entries.len())
+            .field("events", &self.sink.total_pushed())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A fresh hub with a default-capacity sink.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// A fresh hub wrapped in an [`Arc`], ready to hand to the pipeline.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Obs::new())
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event sink.
+    pub fn sink(&self) -> &EventSink {
+        &self.sink
+    }
+
+    /// Open a stage span at the given simulated timestamp (microseconds).
+    pub fn span(&self, name: &'static str, sim_now_us: u64) -> StageSpan {
+        StageSpan::new(name, sim_now_us)
+    }
+
+    /// Render the current state as JSONL (metrics then events).
+    pub fn to_jsonl(&self) -> String {
+        render_jsonl(&self.registry.snapshot(), &self.sink.events())
+    }
+
+    /// Render the current metrics in Prometheus text format.
+    pub fn to_prometheus(&self) -> String {
+        render_prometheus(&self.registry.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_end_to_end() {
+        let obs = Obs::shared();
+        obs.registry().counter("probe_scheduled", Class::Sim).add(3);
+        obs.span("analyze", 10).finish(&obs, 25);
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"probe_scheduled\""));
+        assert!(jsonl.contains("\"record\":\"event\""));
+        let prom = obs.to_prometheus();
+        assert!(prom.contains("probe_scheduled{class=\"sim\"} 3"));
+        // Debug must not dump the whole registry (HunterConfig derives
+        // Debug and carries an Option<Arc<Obs>>).
+        let dbg = format!("{:?}", obs);
+        assert!(dbg.contains("Obs"));
+        assert!(dbg.len() < 200);
+    }
+}

@@ -23,7 +23,7 @@
 
 mod stream;
 
-pub use stream::{ordered_pipeline, BatchChannel, Splicer};
+pub use stream::{ordered_pipeline, ordered_pipeline_obs, BatchChannel, ExecObs, Splicer};
 
 use std::num::NonZeroUsize;
 

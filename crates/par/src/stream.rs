@@ -23,8 +23,75 @@
 
 use crate::Parallelism;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Executor-health instrumentation for [`ordered_pipeline_obs`].
+///
+/// Every metric here is [`obs::Class::Wall`]: queue depths, reorder-buffer
+/// occupancy, and worker idle/busy time all depend on thread scheduling
+/// and on which executor ran at all (the strict-batch path never touches
+/// this module), so none of them may enter the deterministic snapshot.
+/// The sim-identical outputs of the pipeline are what the `Sim` class
+/// certifies; this struct is how you see the *cost* of producing them.
+#[derive(Debug, Clone)]
+pub struct ExecObs {
+    batches: obs::Counter,
+    queue_depth: obs::Histogram,
+    reorder_pending: obs::Histogram,
+    worker_busy_us: obs::Counter,
+    worker_hidden_us: obs::Counter,
+    worker_idle_us: obs::Counter,
+}
+
+impl ExecObs {
+    /// Register the `exec_*` metric family in `reg`. Idempotent.
+    pub fn register(reg: &obs::MetricsRegistry) -> Self {
+        use obs::Class::Wall;
+        const DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64];
+        ExecObs {
+            batches: reg.counter("exec_batches", Wall),
+            queue_depth: reg.histogram("exec_queue_depth", Wall, DEPTH_BOUNDS),
+            reorder_pending: reg.histogram("exec_reorder_pending", Wall, DEPTH_BOUNDS),
+            worker_busy_us: reg.counter("exec_worker_busy_us", Wall),
+            worker_hidden_us: reg.counter("exec_worker_hidden_us", Wall),
+            worker_idle_us: reg.counter("exec_worker_idle_us", Wall),
+        }
+    }
+
+    /// Batches that entered the pipeline.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Input-queue depth distribution, sampled after each producer send.
+    pub fn queue_depth(&self) -> &obs::Histogram {
+        &self.queue_depth
+    }
+
+    /// Reorder-buffer occupancy distribution, sampled after each
+    /// out-of-order arrival at the collector.
+    pub fn reorder_pending(&self) -> &obs::Histogram {
+        &self.reorder_pending
+    }
+
+    /// Total microseconds workers spent transforming batches.
+    pub fn worker_busy_us(&self) -> u64 {
+        self.worker_busy_us.get()
+    }
+
+    /// Portion of busy time from batches that finished while the producer
+    /// was still emitting — work genuinely hidden behind production.
+    pub fn worker_hidden_us(&self) -> u64 {
+        self.worker_hidden_us.get()
+    }
+
+    /// Total microseconds workers spent blocked waiting for input.
+    pub fn worker_idle_us(&self) -> u64 {
+        self.worker_idle_us.get()
+    }
+}
 
 /// A bounded FIFO of sequence-numbered batches (single producer in the
 /// pipeline use, but safe for any number of senders/receivers).
@@ -208,10 +275,43 @@ where
     W: Fn(T) -> U + Sync,
     F: FnMut(&mut A, U) + Send,
 {
+    ordered_pipeline_obs(parallelism, capacity, None, produce, work, init, fold)
+}
+
+/// [`ordered_pipeline`] with optional executor instrumentation.
+///
+/// With `obs` attached the executor records, all wall-clock:
+/// * input-queue depth after every producer send, and the batch count;
+/// * reorder-buffer occupancy after every out-of-order completion;
+/// * per-worker busy / idle time, plus the **hidden** share of busy time —
+///   work on batches that completed while the producer was still emitting,
+///   i.e. classification genuinely overlapped with collection.
+///
+/// With `obs == None` the instrumentation is a branch on `None` per batch:
+/// no clocks are read and no atomics are touched, so the uninstrumented
+/// pipeline costs what it did before this hook existed.
+pub fn ordered_pipeline_obs<T, U, A, P, W, F>(
+    parallelism: Parallelism,
+    capacity: usize,
+    obs: Option<&ExecObs>,
+    produce: P,
+    work: W,
+    init: A,
+    fold: F,
+) -> A
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    P: FnOnce(&mut dyn FnMut(T)),
+    W: Fn(T) -> U + Sync,
+    F: FnMut(&mut A, U) + Send,
+{
     let workers = parallelism.get();
     let input: BatchChannel<T> = BatchChannel::bounded(capacity);
     let results: BatchChannel<U> = BatchChannel::bounded(capacity.max(workers));
     let live_workers = AtomicUsize::new(workers);
+    let producing = AtomicBool::new(true);
 
     let mut acc = init;
     std::thread::scope(|scope| {
@@ -219,6 +319,7 @@ where
             let input = &input;
             let results = &results;
             let live_workers = &live_workers;
+            let producing = &producing;
             let work = &work;
             scope.spawn(move || {
                 // The last worker out closes both channels — even on
@@ -243,9 +344,35 @@ where
                     input,
                     results,
                 };
-                while let Some((seq, batch)) = input.recv() {
-                    if !results.send(seq, work(batch)) {
-                        break; // collector gone; drain no further
+                if let Some(m) = obs {
+                    // Instrumented loop: accumulate locally, flush once at
+                    // exit so the hot path pays clock reads, not atomics.
+                    let (mut idle, mut busy, mut hidden) = (0u64, 0u64, 0u64);
+                    loop {
+                        let t_wait = Instant::now();
+                        let Some((seq, batch)) = input.recv() else {
+                            break;
+                        };
+                        idle += t_wait.elapsed().as_micros() as u64;
+                        let t_work = Instant::now();
+                        let out = work(batch);
+                        let dt = t_work.elapsed().as_micros() as u64;
+                        busy += dt;
+                        if producing.load(Ordering::Acquire) {
+                            hidden += dt;
+                        }
+                        if !results.send(seq, out) {
+                            break; // collector gone; drain no further
+                        }
+                    }
+                    m.worker_idle_us.add(idle);
+                    m.worker_busy_us.add(busy);
+                    m.worker_hidden_us.add(hidden);
+                } else {
+                    while let Some((seq, batch)) = input.recv() {
+                        if !results.send(seq, work(batch)) {
+                            break; // collector gone; drain no further
+                        }
                     }
                 }
             });
@@ -262,6 +389,9 @@ where
                 let mut splicer = Splicer::new();
                 while let Some((seq, value)) = results.recv() {
                     splicer.push(seq, value);
+                    if let Some(m) = obs {
+                        m.reorder_pending.observe(splicer.pending_len() as u64);
+                    }
                     while let Some(ready) = splicer.pop_ready() {
                         fold(acc, ready);
                     }
@@ -278,8 +408,16 @@ where
             let mut sink = |batch: T| {
                 input.send(seq, batch);
                 seq += 1;
+                if let Some(m) = obs {
+                    m.batches.inc();
+                    m.queue_depth.observe(input.len() as u64);
+                }
             };
             produce(&mut sink);
+            // Visible to workers before the channel close wakes them: any
+            // batch finishing after this point was not hidden behind
+            // production.
+            producing.store(false, Ordering::Release);
         }
         // Propagate a collector panic promptly (worker panics surface when
         // the scope joins them).
@@ -386,6 +524,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn instrumented_pipeline_matches_and_counts() {
+        let reg = obs::MetricsRegistry::new();
+        let exec = ExecObs::register(&reg);
+        let expect: Vec<u64> = (0..197u64)
+            .map(|x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
+        let got = ordered_pipeline_obs(
+            Parallelism::fixed(3),
+            2,
+            Some(&exec),
+            |sink| {
+                for chunk in (0..197u64).collect::<Vec<_>>().chunks(10) {
+                    sink(chunk.to_vec());
+                }
+            },
+            |batch: Vec<u64>| {
+                batch
+                    .iter()
+                    .map(|x| x.wrapping_mul(31).rotate_left(7))
+                    .collect::<Vec<u64>>()
+            },
+            Vec::new(),
+            |acc: &mut Vec<u64>, out| acc.extend(out),
+        );
+        assert_eq!(got, expect, "instrumentation must not change the output");
+        assert_eq!(exec.batches(), 20);
+        assert_eq!(exec.queue_depth().count(), 20);
+        assert_eq!(exec.reorder_pending().count(), 20);
+        // Every executor metric is wall-class: the deterministic snapshot
+        // must be empty no matter how much the executor recorded.
+        assert!(reg.snapshot().sim_only().is_empty());
     }
 
     #[test]

@@ -73,6 +73,42 @@ pub struct NetStats {
     pub events: u64,
 }
 
+/// Live fabric counters mirrored into an [`obs`] registry, updated on the
+/// same code paths as [`NetStats`]. Every counter is [`obs::Class::Sim`]:
+/// the fabric is single-threaded and seeded, so datagram fates are part of
+/// the deterministic fingerprint of a run.
+#[derive(Debug, Clone)]
+pub struct FabricMetrics {
+    sent: obs::Counter,
+    delivered: obs::Counter,
+    dropped: obs::Counter,
+    corrupted: obs::Counter,
+    duplicated: obs::Counter,
+    no_route: obs::Counter,
+    bytes_delivered: obs::Counter,
+    events: obs::Counter,
+}
+
+impl FabricMetrics {
+    /// Register the `net_*` counter family in `reg` and return the handle
+    /// bundle to attach with [`Network::set_obs`]. Idempotent: a second
+    /// registration returns handles to the same counters, so engines that
+    /// are rebuilt mid-run keep accumulating into one family.
+    pub fn register(reg: &obs::MetricsRegistry) -> Self {
+        use obs::Class::Sim;
+        FabricMetrics {
+            sent: reg.counter("net_sent", Sim),
+            delivered: reg.counter("net_delivered", Sim),
+            dropped: reg.counter("net_dropped", Sim),
+            corrupted: reg.counter("net_corrupted", Sim),
+            duplicated: reg.counter("net_duplicated", Sim),
+            no_route: reg.counter("net_no_route", Sim),
+            bytes_delivered: reg.counter("net_bytes_delivered", Sim),
+            events: reg.counter("net_events", Sim),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum EventKind {
     Deliver { dgram: Datagram, corrupt: bool },
@@ -122,6 +158,7 @@ pub struct Network {
     /// Traffic capture; enabled by default.
     pub trace: FlowLog,
     stats: NetStats,
+    obs: Option<FabricMetrics>,
     seq: u64,
 }
 
@@ -141,8 +178,15 @@ impl Network {
             flow_counters: HashMap::new(),
             trace: FlowLog::new().with_payload_cap(2048),
             stats: NetStats::default(),
+            obs: None,
             seq: 0,
         }
+    }
+
+    /// Attach (or detach, with `None`) a live metrics mirror. Disabled by
+    /// default; the cost when detached is one branch per counter update.
+    pub fn set_obs(&mut self, obs: Option<FabricMetrics>) {
+        self.obs = obs;
     }
 
     /// Replace the fault plan.
@@ -246,14 +290,23 @@ impl Network {
     }
 
     fn enqueue_send(&mut self, extra_delay: SimDuration, dgram: Datagram) {
+        if let Some(m) = &self.obs {
+            m.sent.inc();
+        }
         match self.decide_fate(&dgram) {
             FaultDecision::Drop => {
                 self.trace.record(self.now, &dgram, Disposition::Dropped);
                 self.stats.dropped += 1;
+                if let Some(m) = &self.obs {
+                    m.dropped.inc();
+                }
             }
             FaultDecision::Deliver { corrupt, duplicate } => {
                 let delay = extra_delay + self.latency.delay(dgram.src.ip, dgram.dst.ip);
                 if duplicate {
+                    if let Some(m) = &self.obs {
+                        m.duplicated.inc();
+                    }
                     let copy = dgram.clone();
                     let at = self.now + delay + SimDuration::from_micros(50);
                     self.push_event(
@@ -316,11 +369,17 @@ impl Network {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.stats.events += 1;
+        if let Some(m) = &self.obs {
+            m.events.inc();
+        }
         match ev.kind {
             EventKind::Deliver { mut dgram, corrupt } => {
                 if corrupt {
                     FaultPlan::corrupt(&mut self.rng, &mut dgram.payload);
                     self.stats.corrupted += 1;
+                    if let Some(m) = &self.obs {
+                        m.corrupted.inc();
+                    }
                 }
                 let disposition = if self.nodes.contains_key(&dgram.dst.ip) {
                     if corrupt {
@@ -337,10 +396,17 @@ impl Network {
                 match disposition {
                     Disposition::NoRoute => {
                         self.stats.no_route += 1;
+                        if let Some(m) = &self.obs {
+                            m.no_route.inc();
+                        }
                     }
                     _ => {
                         self.stats.delivered += 1;
                         self.stats.bytes_delivered += dgram.payload.len() as u64;
+                        if let Some(m) = &self.obs {
+                            m.delivered.inc();
+                            m.bytes_delivered.add(dgram.payload.len() as u64);
+                        }
                     }
                 }
                 if let Some(node) = self.nodes.get_mut(&dgram.dst.ip) {
@@ -715,6 +781,44 @@ mod tests {
         let got = net.take_inbox(ip(4)).len();
         assert!(got > 0 && got < 64, "delivered {got}/64");
         assert_eq!(net.stats().dropped as usize, 64 - got);
+    }
+
+    #[test]
+    fn obs_mirror_matches_netstats() {
+        let reg = obs::MetricsRegistry::new();
+        let mut net = Network::new(42).with_faults(FaultPlan {
+            drop_chance: 0.3,
+            corrupt_chance: 0.2,
+            duplicate_chance: 0.1,
+            ..FaultPlan::default()
+        });
+        net.set_obs(Some(FabricMetrics::register(&reg)));
+        net.add_node(ip(2), Box::new(Echo));
+        net.register_external(ip(1));
+        for i in 0..40u8 {
+            net.send(Datagram::udp(
+                Endpoint::new(ip(1), 1000 + i as u16),
+                Endpoint::new(ip(2), 53),
+                vec![i; 16],
+            ));
+        }
+        net.settle();
+        let s = net.stats();
+        assert_ne!(s.events, 0);
+        assert_eq!(reg.counter_value("net_delivered"), Some(s.delivered));
+        assert_eq!(reg.counter_value("net_dropped"), Some(s.dropped));
+        assert_eq!(reg.counter_value("net_corrupted"), Some(s.corrupted));
+        assert_eq!(reg.counter_value("net_no_route"), Some(s.no_route));
+        assert_eq!(
+            reg.counter_value("net_bytes_delivered"),
+            Some(s.bytes_delivered)
+        );
+        assert_eq!(reg.counter_value("net_events"), Some(s.events));
+        // sent counts every fate decision: delivered originals + drops,
+        // while duplicates add extra deliveries without a send.
+        let sent = reg.counter_value("net_sent").unwrap();
+        let dup = reg.counter_value("net_duplicated").unwrap();
+        assert_eq!(sent + dup, s.delivered + s.dropped + s.no_route);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod pcap;
 mod time;
 mod trace;
 
-pub use fabric::{LatencyModel, NetStats, Network};
+pub use fabric::{FabricMetrics, LatencyModel, NetStats, Network};
 pub use fault::FaultPlan;
 pub use node::{Actions, Datagram, Endpoint, Node, Proto};
 pub use time::{SimDuration, SimTime};

@@ -11,7 +11,43 @@ use worldgen::{World, WorldConfig};
 
 fn run_with(cfg: HunterConfig) -> RunOutput {
     let mut world = World::generate(WorldConfig::small());
-    run(&mut world, &cfg)
+    // Every run in this suite carries an observability hub, and the hub's
+    // probe funnel must agree with the engine's own CoverageReport — two
+    // independent accounting paths over the same probes.
+    let hub = obs::Obs::shared();
+    let out = run(&mut world, &cfg.with_obs(hub.clone()));
+    let c = |name: &str| hub.registry().counter_value(name).unwrap_or(0);
+    let cov = &out.coverage;
+    assert_eq!(c("probe_scheduled"), cov.scheduled, "scheduled mismatch");
+    assert_eq!(c("probe_answered_first"), cov.answered, "answered mismatch");
+    assert_eq!(
+        c("probe_answered_retried"),
+        cov.retried_answered,
+        "retried mismatch"
+    );
+    assert_eq!(c("probe_gave_up"), cov.gave_up, "gave-up mismatch");
+    assert_eq!(
+        c("probe_skipped_quarantined"),
+        cov.skipped_quarantined,
+        "skipped mismatch"
+    );
+    assert_eq!(
+        c("probe_retransmissions"),
+        cov.retransmissions,
+        "retransmission mismatch"
+    );
+    // The funnel identity, stated on the registry's own numbers: every
+    // scheduled probe lands in exactly one terminal bucket.
+    assert_eq!(
+        c("probe_scheduled")
+            - c("probe_answered_first")
+            - c("probe_answered_retried")
+            - c("probe_gave_up")
+            - c("probe_skipped_quarantined"),
+        0,
+        "registry probe funnel does not balance"
+    );
+    out
 }
 
 /// Everything the equivalence contract covers, in one comparable bundle.
