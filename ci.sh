@@ -47,6 +47,21 @@ grep -q '"name":"probe_scheduled"' "$METRICS_OUT" || {
 }
 rm -f "$METRICS_OUT"
 
+echo "== shard matrix: urhunter --shards 1 vs --shards 4 =="
+# The sharded scan must be invisible in the output: the full table1
+# rendering (per-provider verdict counts) has to match bit for bit
+# between 1 and 4 shards on the small world.
+SHARD1_OUT=$(cargo run --release -q -p urhunter --bin urhunter -- --shards 1 --report table1 2>/dev/null)
+SHARD4_OUT=$(cargo run --release -q -p urhunter --bin urhunter -- --shards 4 --report table1 2>/dev/null)
+if [ "$SHARD1_OUT" != "$SHARD4_OUT" ]; then
+    echo "ci.sh: --shards 4 output diverges from --shards 1" >&2
+    exit 1
+fi
+test -n "$SHARD1_OUT" || {
+    echo "ci.sh: shard smoke run produced no table1 output" >&2
+    exit 1
+}
+
 echo "== smoke: cargo run -p bench --bin perf_snapshot =="
 cargo run --release -p bench --bin perf_snapshot
 grep -q '"pipeline_stream_ms"' BENCH_pipeline.json || {
@@ -57,6 +72,12 @@ grep -q '"metrics_overhead_ratio"' BENCH_pipeline.json || {
     echo "ci.sh: BENCH_pipeline.json is missing metrics_overhead_ratio" >&2
     exit 1
 }
+for field in '"collect_ms"' '"urs_per_sec"' '"shards"' '"collect_sharded_ms"'; do
+    grep -q "$field" BENCH_pipeline.json || {
+        echo "ci.sh: BENCH_pipeline.json is missing $field" >&2
+        exit 1
+    }
+done
 # The reliable benchmark run must answer every probe: a non-zero gave_up
 # count means the collection path silently lost coverage.
 grep -q '"gave_up": 0,' BENCH_pipeline.json || {

@@ -29,6 +29,6 @@ pub use provider::{AccountId, HostError, HostedZone, HostingProvider, ProviderAn
 pub use roots::DelegationRegistry;
 pub use server::{
     dns_query, dns_query_with_timeout, zone_answer_to_message, AnswerMap, OracleRecursiveNs,
-    ProviderNsNode, StaticZoneNode, DNS_PORT,
+    ProviderNsNode, SharedOracleNs, SharedProviderNs, StaticZoneNode, DNS_PORT,
 };
 pub use zone::{Zone, ZoneAnswer};

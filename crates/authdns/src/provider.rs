@@ -80,7 +80,7 @@ pub struct HostedZone {
     pub verified: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Account {
     fixed_ns: Vec<usize>,
 }
@@ -97,6 +97,10 @@ pub enum ProviderAnswer {
 }
 
 /// A DNS hosting provider.
+///
+/// `Clone` snapshots the full control plane (accounts, zones, RNG state);
+/// sharded scans use such snapshots as immutable read-only replicas.
+#[derive(Clone)]
 pub struct HostingProvider {
     name: String,
     policy: HostingPolicy,

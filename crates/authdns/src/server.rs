@@ -9,6 +9,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The DNS service port.
 pub const DNS_PORT: u16 = 53;
@@ -64,6 +65,45 @@ fn size_limit(proto: simnet::Proto, query: &Message) -> usize {
     }
 }
 
+/// Assemble the response a provider nameserver at `ns_ip` gives to `query`.
+///
+/// Shared by the `Rc`-backed single-fabric node and the `Arc`-backed shard
+/// replica so both answer bit-identically.
+fn provider_response(provider: &HostingProvider, ns_ip: Ipv4Addr, query: &Message) -> Message {
+    let q = query.question().expect("caller checked").clone();
+    match provider.answer(ns_ip, &q) {
+        ProviderAnswer::FromZone(zid, ans) => {
+            let soa = provider.zone(zid).map(|z| z.zone.soa().clone());
+            zone_answer_to_message(query, soa.as_ref(), ans)
+        }
+        ProviderAnswer::Protective(rs) => {
+            let mut m = Message::response_to(query, Rcode::NoError);
+            m.flags.authoritative = true;
+            m.answers = rs;
+            m
+        }
+        ProviderAnswer::Refused => Message::response_to(query, Rcode::Refused),
+    }
+}
+
+/// Assemble the response a misconfigured-recursive oracle gives to `query`.
+fn oracle_response(truth: &AnswerMap, query: &Message) -> Message {
+    let q = query.question().expect("caller checked").clone();
+    match truth.get(&(q.qname.clone(), q.qtype)) {
+        Some(rs) if !rs.is_empty() => {
+            let mut m = Message::response_to(query, Rcode::NoError);
+            m.flags.recursion_available = true;
+            m.answers = rs.clone();
+            m
+        }
+        _ => {
+            let mut m = Message::response_to(query, Rcode::NxDomain);
+            m.flags.recursion_available = true;
+            m
+        }
+    }
+}
+
 fn decode_query(payload: &[u8]) -> Result<Message, Option<Message>> {
     match Message::decode(payload) {
         Ok(q) if !q.flags.response && q.question().is_some() => Ok(q),
@@ -106,22 +146,50 @@ impl Node for ProviderNsNode {
             }
             Err(None) => return,
         };
-        let q = query.question().expect("checked by decode_query").clone();
-        let provider = self.provider.borrow();
-        let resp = match provider.answer(self.ip, &q) {
-            ProviderAnswer::FromZone(zid, ans) => {
-                let soa = provider.zone(zid).map(|z| z.zone.soa().clone());
-                zone_answer_to_message(&query, soa.as_ref(), ans)
+        let resp = provider_response(&self.provider.borrow(), self.ip, &query);
+        if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
+            out.send(dgram.reply(bytes));
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "provider-ns"
+    }
+}
+
+/// A provider nameserver backed by an immutable [`Arc`] snapshot of the
+/// provider's control plane.
+///
+/// Unlike [`ProviderNsNode`], this node is `Send`: shard worker threads can
+/// each build their own fabric over shared snapshots without cloning the
+/// zone tables per shard. Answers are bit-identical to the `Rc` node because
+/// both route through the same response-assembly helper and
+/// [`HostingProvider::answer`] is a read-only query.
+pub struct SharedProviderNs {
+    provider: Arc<HostingProvider>,
+    ip: Ipv4Addr,
+}
+
+impl SharedProviderNs {
+    /// Attach a snapshot-backed node for the provider nameserver at `ip`.
+    pub fn new(provider: Arc<HostingProvider>, ip: Ipv4Addr) -> Self {
+        SharedProviderNs { provider, ip }
+    }
+}
+
+impl Node for SharedProviderNs {
+    fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+        let query = match decode_query(&dgram.payload) {
+            Ok(q) => q,
+            Err(Some(resp)) => {
+                if let Ok(bytes) = resp.encode() {
+                    out.send(dgram.reply(bytes));
+                }
+                return;
             }
-            ProviderAnswer::Protective(rs) => {
-                let mut m = Message::response_to(&query, Rcode::NoError);
-                m.flags.authoritative = true;
-                m.answers = rs;
-                m
-            }
-            ProviderAnswer::Refused => Message::response_to(&query, Rcode::Refused),
+            Err(None) => return,
         };
-        drop(provider);
+        let resp = provider_response(&self.provider, self.ip, &query);
         if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
             out.send(dgram.reply(bytes));
         }
@@ -218,23 +286,44 @@ impl Node for OracleRecursiveNs {
             }
             Err(None) => return,
         };
-        let q = query.question().expect("checked").clone();
-        let truth = self.truth.borrow();
-        let answers = truth.get(&(q.qname.clone(), q.qtype)).cloned();
-        let resp = match answers {
-            Some(rs) if !rs.is_empty() => {
-                let mut m = Message::response_to(&query, Rcode::NoError);
-                m.flags.recursion_available = true;
-                m.answers = rs;
-                m
+        let resp = oracle_response(&self.truth.borrow(), &query);
+        if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
+            out.send(dgram.reply(bytes));
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "misconfigured-recursive-ns"
+    }
+}
+
+/// A misconfigured-recursive oracle backed by an immutable [`Arc`] snapshot
+/// of the ground-truth table — the `Send` counterpart of
+/// [`OracleRecursiveNs`] for shard worker fabrics.
+pub struct SharedOracleNs {
+    truth: Arc<AnswerMap>,
+}
+
+impl SharedOracleNs {
+    /// Create a snapshot-backed oracle node.
+    pub fn new(truth: Arc<AnswerMap>) -> Self {
+        SharedOracleNs { truth }
+    }
+}
+
+impl Node for SharedOracleNs {
+    fn handle(&mut self, _now: SimTime, dgram: &Datagram, out: &mut Actions) {
+        let query = match decode_query(&dgram.payload) {
+            Ok(q) => q,
+            Err(Some(resp)) => {
+                if let Ok(bytes) = resp.encode() {
+                    out.send(dgram.reply(bytes));
+                }
+                return;
             }
-            _ => {
-                let mut m = Message::response_to(&query, Rcode::NxDomain);
-                m.flags.recursion_available = true;
-                m
-            }
+            Err(None) => return,
         };
-        drop(truth);
+        let resp = oracle_response(&self.truth, &query);
         if let Ok(bytes) = resp.encode_truncated(size_limit(dgram.proto, &query)) {
             out.send(dgram.reply(bytes));
         }

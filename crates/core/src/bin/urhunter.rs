@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! urhunter [--scale small|default] [--seed N] [--report summary|table1|figure2|figure3|table2|all]
-//!          [--parallelism N] [--batch-size N]
+//!          [--parallelism N] [--batch-size N] [--shards N]
 //!          [--retries N] [--timeout MS] [--fault-drop P]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
 //! ```
 //!
 //! `--parallelism 0` (the default) sizes the classification worker pool
 //! from the machine; `--batch-size N` (N > 0) switches to the streaming
-//! stage-overlapped pipeline with N collected URs per batch. Both settings
-//! change wall-clock only — the output is bit-identical.
+//! stage-overlapped pipeline with N collected URs per batch. `--shards N`
+//! splits the bulk scan across N replica fabrics, one per thread,
+//! partitioned by nameserver (default 1; ignored under `--ethics`, which
+//! paces a single scanner clock). All three settings change wall-clock
+//! only — the output is bit-identical.
 //!
 //! `--retries N` gives every collection probe N attempts (default 3;
 //! 1 = single-shot), `--timeout MS` bounds each attempt, and
@@ -41,6 +44,7 @@ struct Args {
     report: String,
     parallelism: Option<usize>,
     batch_size: Option<usize>,
+    shards: Option<usize>,
     retries: Option<u32>,
     timeout_ms: Option<u64>,
     fault_drop: Option<f64>,
@@ -56,12 +60,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: urhunter [--scale small|default] [--seed N] \
          [--report summary|table1|figure2|figure3|table2|all]\n\
-         \u{20}               [--parallelism N] [--batch-size N]\n\
+         \u{20}               [--parallelism N] [--batch-size N] [--shards N]\n\
          \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
          \u{20}               [--metrics-out FILE]\n\
          \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
          \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch;\n\
+         \u{20} --shards N runs the bulk scan on N replica fabrics partitioned by\n\
+         \u{20} nameserver (default 1, maximum 64; bit-identical output, clamped to 1\n\
+         \u{20} under --ethics);\n\
          \u{20} --retries N attempts per probe (default 3, minimum 1), --timeout MS per\n\
          \u{20} attempt (positive), --fault-drop P injects drop probability P in [0,1]\n\
          \u{20} for the collection stages; --metrics-out FILE writes the observability\n\
@@ -77,6 +84,7 @@ fn parse_args() -> Args {
         report: "summary".to_string(),
         parallelism: None,
         batch_size: None,
+        shards: None,
         retries: None,
         timeout_ms: None,
         fault_drop: None,
@@ -103,6 +111,21 @@ fn parse_args() -> Args {
             "--batch-size" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 args.batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--shards must be at least 1 (got 0): the scan needs one fabric");
+                    usage()
+                }
+                if n > 64 {
+                    eprintln!(
+                        "--shards is capped at 64 (got {v}): each shard is a full replica fabric"
+                    );
+                    usage()
+                }
+                args.shards = Some(n);
             }
             "--retries" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -181,6 +204,9 @@ fn main() -> ExitCode {
     }
     if let Some(batch) = args.batch_size {
         hunter = hunter.with_stream_batch_size(batch);
+    }
+    if let Some(shards) = args.shards {
+        hunter = hunter.with_shards(shards);
     }
     if let Some(retries) = args.retries {
         hunter = hunter.with_retries(retries);

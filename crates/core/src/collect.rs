@@ -105,7 +105,7 @@ pub(crate) fn query_one_ur(
 /// nameserver plus MX follow-ups — instead of 65,535 probes globally.
 #[derive(Debug, Default)]
 pub struct QidGen {
-    streams: std::collections::HashMap<(u32, u16), u32>,
+    streams: std::collections::HashMap<(u64, u16), u32>,
 }
 
 impl QidGen {
@@ -117,15 +117,32 @@ impl QidGen {
     /// The next id for the `(target, rtype)` probe stream: never zero,
     /// never repeated within 65,535 consecutive probes of the stream.
     pub fn next(&mut self, target_idx: usize, rtype: RecordType) -> u16 {
-        let key = (target_idx as u32, rtype.code());
+        self.next_stream(target_idx as u64, rtype)
+    }
+
+    /// The next id for an arbitrary probe stream. The sharded bulk scan
+    /// keys streams by `(nameserver, target)` (see [`scan_stream`]) so a
+    /// probe's id depends only on its own stream's history — independent
+    /// of how probes to *other* nameservers interleave, and therefore of
+    /// the shard count.
+    pub fn next_stream(&mut self, stream: u64, rtype: RecordType) -> u16 {
+        let key = (stream, rtype.code());
         let ctr = self.streams.entry(key).or_insert(0);
-        let base = (u64::from(key.0))
+        let base = key
+            .0
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(u64::from(key.1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
         let id = ((base as u32).wrapping_add(*ctr) % 0xFFFF) + 1;
         *ctr = ctr.wrapping_add(1);
         id as u16
     }
+}
+
+/// The qid stream for one `(nameserver, target)` scan pair. MX follow-ups
+/// continue the same stream, so within a shard ids collide only after
+/// 65,535 probes of one pair.
+pub fn scan_stream(ni: usize, di: usize) -> u64 {
+    ((ni as u64) << 32) | di as u64
 }
 
 /// Collect URs: query every selected nameserver for every target domain,
@@ -181,6 +198,50 @@ pub fn collect_urs_stream(
     batch_size: usize,
     sink: &mut dyn FnMut(Vec<CollectedUr>),
 ) {
+    let mut tasks = build_scan_tasks(world_registry, nameservers, targets, cfg);
+    scheduler.randomize(&mut tasks);
+    let batch_size = if batch_size == 0 {
+        usize::MAX
+    } else {
+        batch_size
+    };
+    let mut pending: Vec<CollectedUr> = Vec::new();
+    let mut qids = QidGen::new();
+    for (ni, di, rtype) in tasks {
+        let ns = &nameservers[ni];
+        scheduler.admit(net, ns.ip);
+        // Legacy stream keying: one qid stream per (target, rtype), shared
+        // across nameservers. The sharded scan keys per pair instead.
+        if let Some(ur) = probe_task(
+            net,
+            engine,
+            &mut qids,
+            di as u64,
+            ns,
+            &targets[di],
+            rtype,
+            cfg,
+        ) {
+            pending.push(ur);
+            if pending.len() >= batch_size {
+                sink(std::mem::take(&mut pending));
+            }
+        }
+    }
+    if !pending.is_empty() {
+        sink(pending);
+    }
+}
+
+/// Build the full unrandomized scan task list: the cross product of
+/// selected nameservers × targets × record types, minus pairs where the
+/// domain is exactly delegated to that server.
+fn build_scan_tasks(
+    world_registry: &authdns::DelegationRegistry,
+    nameservers: &[NsInfo],
+    targets: &[Name],
+    cfg: &CollectConfig,
+) -> Vec<(usize, usize, RecordType)> {
     // Per-target delegated-server sets, resolved once. The old per-pair
     // lookup re-ran registered_suffix + delegation_of and cloned the
     // delegation Vec for every (nameserver, target) combination —
@@ -210,58 +271,234 @@ pub fn collect_urs_stream(
             }
         }
     }
+    tasks
+}
+
+/// One scan task end to end: the UR probe plus MX follow-ups, drawing qids
+/// from the given stream. Shared by the single-fabric and sharded scans.
+#[allow(clippy::too_many_arguments)]
+fn probe_task(
+    net: &mut Network,
+    engine: &mut ProbeEngine,
+    qids: &mut QidGen,
+    stream: u64,
+    ns: &NsInfo,
+    domain: &Name,
+    rtype: RecordType,
+    cfg: &CollectConfig,
+) -> Option<CollectedUr> {
+    let qid = qids.next_stream(stream, rtype);
+    let mut ur = query_one_ur(
+        net,
+        engine,
+        cfg.scanner_ip,
+        ns.ip,
+        domain,
+        rtype,
+        qid,
+        &ns.provider,
+    )?;
+    // MX follow-up: resolve each exchange host's address at the same
+    // nameserver, so the analysis has corresponding IPs to judge.
+    if rtype == RecordType::Mx {
+        let exchanges: Vec<dnswire::Name> = ur
+            .records
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                dnswire::RData::Mx { exchange, .. } => Some(exchange.clone()),
+                _ => None,
+            })
+            .collect();
+        for exchange in exchanges {
+            let qid = qids.next_stream(stream, rtype);
+            if let Some(aux) =
+                engine.query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
+            {
+                if aux.rcode() == Rcode::NoError {
+                    ur.aux_records.extend(
+                        aux.answers
+                            .iter()
+                            .filter(|r| r.rtype() == RecordType::A)
+                            .cloned(),
+                    );
+                }
+            }
+        }
+    }
+    Some(ur)
+}
+
+/// One bulk-scan probe: (nameserver index, target index, record type).
+pub type ScanTask = (usize, usize, RecordType);
+
+/// A shard's slice of the scan: tasks tagged with their global index in
+/// the randomized order, so shard outputs can be spliced back.
+pub type ShardTasks = Vec<(usize, ScanTask)>;
+
+/// Partition a randomized task list across `shards` contiguous nameserver
+/// ranges (via [`par::chunk_ranges`], the same worker-count plumbing the
+/// classify stage uses). Each shard's list keeps the global randomized
+/// order, and every task is tagged with its global index so the merge can
+/// splice shard outputs back into exactly the unsharded emission order.
+///
+/// Partitioning by *nameserver* (not by task) is what makes shard output
+/// invariant: every `(scanner, nameserver)` flow — probes, retries, MX
+/// follow-ups, TCP fallbacks — lives wholly inside one shard, so per-flow
+/// fault fates, per-server quarantine streaks and per-pair qid streams
+/// never depend on the shard count.
+pub fn partition_scan_tasks(tasks: &[ScanTask], ns_count: usize, shards: usize) -> Vec<ShardTasks> {
+    let ranges = par::chunk_ranges(ns_count, shards);
+    let mut shard_of = vec![0usize; ns_count];
+    for (w, range) in ranges.iter().enumerate() {
+        for ni in range.clone() {
+            shard_of[ni] = w;
+        }
+    }
+    let mut parts: Vec<ShardTasks> = vec![Vec::new(); ranges.len()];
+    for (gidx, task) in tasks.iter().enumerate() {
+        parts[shard_of[task.0]].push((gidx, *task));
+    }
+    parts
+}
+
+/// What a sharded bulk scan produced besides the URs streamed to the sink.
+#[derive(Debug, Clone)]
+pub struct ShardedScanOutcome {
+    /// Summed probe accounting across every shard engine (quarantine lists
+    /// merged in address order).
+    pub coverage: crate::query::CoverageReport,
+    /// Total simulated time the shards spent scanning — the amount the
+    /// caller should advance the world clock by. At zero pacing interval
+    /// per-task durations are start-time independent, so this sum equals
+    /// the single-fabric elapsed time for every shard count.
+    pub elapsed: simnet::SimDuration,
+    /// Summed fabric counters across shard replicas, for
+    /// [`simnet::Network::absorb_stats`].
+    pub stats: simnet::NetStats,
+    /// How many shards actually ran.
+    pub shards: usize,
+}
+
+/// Sharded bulk scan: the tentpole parallel collection path.
+///
+/// Identical task list and randomized order to [`collect_urs_stream`], but
+/// the tasks are partitioned across `shards` nameserver ranges
+/// ([`partition_scan_tasks`]) and each shard runs its own replica fabric
+/// (built from the [`worldgen::ScanBlueprint`]), [`ProbeEngine`] and
+/// [`QidGen`] on a scoped worker thread. Shard outputs are spliced back by
+/// global task index, so the URs reach `sink` in exactly the unsharded
+/// order and batch boundaries — output is bit-identical for every shard
+/// count, with and without per-flow fault injection.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_urs_sharded(
+    blueprint: &worldgen::ScanBlueprint,
+    plan: crate::query::QueryPlan,
+    faults: simnet::FaultPlan,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    world_registry: &authdns::DelegationRegistry,
+    nameservers: &[NsInfo],
+    targets: &[Name],
+    cfg: &CollectConfig,
+    scheduler: &mut QueryScheduler,
+    shards: usize,
+    batch_size: usize,
+    sink: &mut dyn FnMut(Vec<CollectedUr>),
+) -> ShardedScanOutcome {
+    let mut tasks = build_scan_tasks(world_registry, nameservers, targets, cfg);
     scheduler.randomize(&mut tasks);
+    let interval = scheduler.interval();
+    let n_tasks = tasks.len();
+    let parts = partition_scan_tasks(&tasks, nameservers.len(), shards.max(1));
+
+    // One shard's scan, on its own replica fabric. `shard_idx` seeds the
+    // replica's general RNG stream; the per-flow fault seed is the world's.
+    let run_shard = |shard_idx: usize, part: &[(usize, (usize, usize, RecordType))]| {
+        let mut net = blueprint.build_network(shard_idx as u64);
+        net.set_faults(faults);
+        if let Some(hub) = &obs {
+            net.set_obs(Some(simnet::FabricMetrics::register(hub.registry())));
+        }
+        let mut engine = ProbeEngine::new(plan);
+        if let Some(hub) = &obs {
+            engine = engine.with_obs(hub.clone());
+        }
+        // Pacing state is per shard; the seed is irrelevant (randomize was
+        // already applied globally) but the interval policy carries over.
+        let mut sched = QueryScheduler::new(0, interval);
+        let mut qids = QidGen::new();
+        let mut urs: Vec<(usize, CollectedUr)> = Vec::new();
+        for &(gidx, (ni, di, rtype)) in part {
+            let ns = &nameservers[ni];
+            sched.admit(&mut net, ns.ip);
+            if let Some(ur) = probe_task(
+                &mut net,
+                &mut engine,
+                &mut qids,
+                scan_stream(ni, di),
+                ns,
+                &targets[di],
+                rtype,
+                cfg,
+            ) {
+                urs.push((gidx, ur));
+            }
+        }
+        // Elapsed is read before settling: stragglers (replies landing
+        // after their probe's deadline) are flushed into the shard's stats
+        // but don't extend the scan clock, mirroring how the single-fabric
+        // path leaves them queued past the collect stage.
+        let elapsed = net.now() - simnet::SimTime::ZERO;
+        net.settle();
+        (urs, engine.take_coverage(), elapsed, net.stats())
+    };
+
+    let results: Vec<_> = if parts.len() == 1 {
+        vec![run_shard(0, &parts[0])]
+    } else {
+        std::thread::scope(|scope| {
+            let run_shard = &run_shard;
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(w, part)| scope.spawn(move || run_shard(w, part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan shard panicked"))
+                .collect()
+        })
+    };
+
+    let mut merged: Vec<Option<CollectedUr>> = (0..n_tasks).map(|_| None).collect();
+    let mut outcome = ShardedScanOutcome {
+        coverage: crate::query::CoverageReport::default(),
+        elapsed: simnet::SimDuration::ZERO,
+        stats: simnet::NetStats::default(),
+        shards: parts.len(),
+    };
+    for (urs, coverage, elapsed, stats) in results {
+        for (gidx, ur) in urs {
+            merged[gidx] = Some(ur);
+        }
+        // absorb() merges quarantine lists in address order, which keeps
+        // the union independent of shard boundaries.
+        outcome.coverage.absorb(&coverage);
+        outcome.elapsed = outcome.elapsed + elapsed;
+        outcome.stats.delivered += stats.delivered;
+        outcome.stats.dropped += stats.dropped;
+        outcome.stats.corrupted += stats.corrupted;
+        outcome.stats.no_route += stats.no_route;
+        outcome.stats.bytes_delivered += stats.bytes_delivered;
+        outcome.stats.events += stats.events;
+    }
+
     let batch_size = if batch_size == 0 {
         usize::MAX
     } else {
         batch_size
     };
     let mut pending: Vec<CollectedUr> = Vec::new();
-    let mut qids = QidGen::new();
-    for (ni, di, rtype) in tasks {
-        let ns = &nameservers[ni];
-        let domain = &targets[di];
-        scheduler.admit(net, ns.ip);
-        let qid = qids.next(di, rtype);
-        let Some(mut ur) = query_one_ur(
-            net,
-            engine,
-            cfg.scanner_ip,
-            ns.ip,
-            domain,
-            rtype,
-            qid,
-            &ns.provider,
-        ) else {
-            continue;
-        };
-        // MX follow-up: resolve each exchange host's address at the same
-        // nameserver, so the analysis has corresponding IPs to judge.
-        if rtype == RecordType::Mx {
-            let exchanges: Vec<dnswire::Name> = ur
-                .records
-                .iter()
-                .filter_map(|r| match &r.rdata {
-                    dnswire::RData::Mx { exchange, .. } => Some(exchange.clone()),
-                    _ => None,
-                })
-                .collect();
-            for exchange in exchanges {
-                let qid = qids.next(di, rtype);
-                if let Some(aux) =
-                    engine.query(net, cfg.scanner_ip, ns.ip, &exchange, RecordType::A, qid)
-                {
-                    if aux.rcode() == Rcode::NoError {
-                        ur.aux_records.extend(
-                            aux.answers
-                                .iter()
-                                .filter(|r| r.rtype() == RecordType::A)
-                                .cloned(),
-                        );
-                    }
-                }
-            }
-        }
+    for ur in merged.into_iter().flatten() {
         pending.push(ur);
         if pending.len() >= batch_size {
             sink(std::mem::take(&mut pending));
@@ -270,6 +507,7 @@ pub fn collect_urs_stream(
     if !pending.is_empty() {
         sink(pending);
     }
+    outcome
 }
 
 /// Collect correct records: ask a sample of stable open resolvers for each

@@ -55,8 +55,9 @@ pub use classify::{
     ClassifyConfig, StreamClassifier,
 };
 pub use collect::{
-    collect_correct, collect_protective, collect_urs, collect_urs_stream, select_nameservers,
-    CollectConfig, QidGen, NS_SELECTION_THRESHOLD,
+    collect_correct, collect_protective, collect_urs, collect_urs_sharded, collect_urs_stream,
+    partition_scan_tasks, scan_stream, select_nameservers, CollectConfig, QidGen, ScanTask,
+    ShardTasks, ShardedScanOutcome, NS_SELECTION_THRESHOLD,
 };
 pub use defense::{BypassAlert, EgressMonitor};
 pub use pipeline::{

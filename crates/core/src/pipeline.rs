@@ -7,8 +7,8 @@ use crate::classify::{
     StreamClassifier,
 };
 use crate::collect::{
-    collect_correct, collect_protective, collect_urs, collect_urs_stream, query_one_ur,
-    select_nameservers, CollectConfig, QidGen,
+    collect_correct, collect_protective, collect_urs_sharded, query_one_ur, select_nameservers,
+    CollectConfig, QidGen,
 };
 use crate::query::{CoverageReport, ProbeEngine, QueryPlan};
 use crate::report::{build_report, Report};
@@ -38,9 +38,16 @@ pub struct HunterConfig {
     /// Worker threads for the CPU-bound stages (classification and the
     /// analysis vendor join): `0` is automatic (available parallelism,
     /// `URHUNTER_PARALLELISM` override), `1` is sequential, `n` fixed.
-    /// Results are bit-identical for every value; collection stays
-    /// single-threaded because the simulated network is not `Sync`.
+    /// Results are bit-identical for every value.
     pub parallelism: usize,
+    /// Independent fabric shards for the bulk scan — the other parallelism
+    /// axis. The selected nameservers are split into `shards` contiguous
+    /// ranges; each shard scans its range on a replica fabric on its own
+    /// thread. Output is bit-identical for every value (pinned by
+    /// `tests/sharding.rs`). Clamped to 1 under ethics pacing, where the
+    /// paper's single scanner interleaves probes across servers and the
+    /// elapsed-time bookkeeping is only meaningful on one clock.
+    pub shards: usize,
     /// Streaming batch size: `0` runs the legacy strict-batch pipeline
     /// (collect everything, then classify); `n > 0` streams URs from the
     /// collector to the classification workers in batches of `n`, so
@@ -84,6 +91,7 @@ impl HunterConfig {
             scheduler_seed: 0x5545,
             expand_targets_from_pdns: false,
             parallelism: 0,
+            shards: 1,
             stream_batch_size: 0,
             keep_raw_collected: true,
             retry: QueryPlan::default(),
@@ -124,6 +132,13 @@ impl HunterConfig {
     /// Set the worker-thread knob (see [`HunterConfig::parallelism`]).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Set the collection shard count (see [`HunterConfig::shards`];
+    /// `0` and `1` both mean unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -295,18 +310,48 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
     let classify_cfg = cfg.classify_cfg(world.config.today);
     let mut overlap = OverlapStats::default();
-    let (mut collected, mut classified) = if cfg.stream_batch_size == 0 {
+    // Under ethics pacing the paper's single scanner interleaves probes
+    // across servers on one clock; sharding would make total elapsed time
+    // depend on the shard layout, so pacing runs unsharded.
+    let shards = if cfg.per_server_interval == SimDuration::ZERO {
+        cfg.shards.max(1)
+    } else {
+        1
+    };
+    // The bulk scan runs on shard replica fabrics built from this snapshot
+    // (even at `shards = 1`, so the scan baseline doesn't depend on the
+    // knob): same fault seed and latency, per-shard RNG streams.
+    let blueprint = world.scan_blueprint();
+    let scan_faults = world.net.faults();
+    let (mut collected, mut classified, scan) = if cfg.stream_batch_size == 0 {
         // Legacy strict-batch path: materialize every UR, then classify.
         let sp = obs.map(|h| h.span("collect", world.net.now().as_micros()));
-        let collected = collect_urs(
-            &mut world.net,
-            &mut engine,
+        let mut collected: Vec<CollectedUr> = Vec::new();
+        let scan = collect_urs_sharded(
+            &blueprint,
+            cfg.retry,
+            scan_faults,
+            cfg.obs.clone(),
             &world.registry,
             &nameservers,
             &targets,
             &cfg.collect,
             &mut scheduler,
+            shards,
+            usize::MAX,
+            &mut |batch| {
+                if collected.is_empty() {
+                    collected = batch;
+                } else {
+                    collected.extend(batch);
+                }
+            },
         );
+        // The world clock advances by the shards' summed scan time and the
+        // fabric inherits their traffic accounting, exactly as if the scan
+        // had run here.
+        world.net.run_until(world.net.now() + scan.elapsed);
+        world.net.absorb_stats(scan.stats);
         if let Some((s, h)) = sp.zip(obs) {
             s.finish(h, world.net.now().as_micros());
         }
@@ -333,7 +378,7 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
             // sim delta is exactly zero on both executor paths.
             s.finish(h, world.net.now().as_micros());
         }
-        (collected, classified)
+        (collected, classified, scan)
     } else {
         // Streaming stage-overlapped path: the collector keeps driving the
         // simulated network on this thread and hands sequence-numbered
@@ -360,25 +405,28 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         // Measurement only — results never depend on it.
         let exec_obs = obs.map(|h| par::ExecObs::register(h.registry()));
         let sp = obs.map(|h| h.span("collect", world.net.now().as_micros()));
-        let net = &mut world.net;
         let registry = &world.registry;
-        let engine = &mut engine;
+        let mut scan = None;
+        let scan_slot = &mut scan;
         let out = par::ordered_pipeline_obs(
             workers,
             capacity,
             exec_obs.as_ref(),
             |sink: &mut dyn FnMut(Vec<CollectedUr>)| {
-                collect_urs_stream(
-                    net,
-                    engine,
+                *scan_slot = Some(collect_urs_sharded(
+                    &blueprint,
+                    cfg.retry,
+                    scan_faults,
+                    cfg.obs.clone(),
                     registry,
                     &nameservers,
                     &targets,
                     &cfg.collect,
                     &mut scheduler,
+                    shards,
                     cfg.stream_batch_size,
                     sink,
-                );
+                ));
             },
             |batch: Vec<CollectedUr>| {
                 let (raw, cls) = if keep_raw {
@@ -410,6 +458,11 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
                 classify_hidden_ms: m.worker_hidden_us() as f64 / 1e3,
             };
         }
+        let scan = scan.expect("producer ran to completion");
+        // Same clock/stats bookkeeping as the batch path, inside the
+        // collect span so the stage's sim delta matches it exactly.
+        world.net.run_until(world.net.now() + scan.elapsed);
+        world.net.absorb_stats(scan.stats);
         if let Some((s, h)) = sp.zip(obs) {
             s.finish(h, world.net.now().as_micros());
         }
@@ -420,12 +473,14 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         if let Some((s, h)) = sp.zip(obs) {
             s.finish(h, world.net.now().as_micros());
         }
-        out
+        (out.0, out.1, scan)
     };
     // Collection is done: restore the fabric's fault plan before the local
-    // sandbox/IDS phase, and bank the probe accounting.
+    // sandbox/IDS phase, and bank the probe accounting: the main engine's
+    // support-stage funnel plus the shard engines' bulk-scan funnel.
     world.net.set_faults(pre_scan_faults);
-    let coverage = engine.take_coverage();
+    let mut coverage = engine.take_coverage();
+    coverage.absorb(&scan.coverage);
     world.net.trace.set_enabled(true);
     if !cfg.keep_raw_collected {
         collected = Vec::new();

@@ -37,6 +37,12 @@ impl QueryScheduler {
         worldgen::shuffle(&mut self.rng, tasks);
     }
 
+    /// The per-server interval this scheduler enforces. Shard workers use
+    /// it to build their own pacing state over the same policy.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
     /// Block (in simulated time) until `server` may be queried again, then
     /// reserve the next slot.
     pub fn admit(&mut self, net: &mut Network, server: Ipv4Addr) {

@@ -214,6 +214,34 @@ impl Network {
         self
     }
 
+    /// Reseed only the fabric's general RNG, leaving the per-flow fault
+    /// seed untouched.
+    ///
+    /// Shard replicas of one world use this: every shard keeps the world's
+    /// `fault_seed` so per-flow fates stay identical regardless of which
+    /// shard carries a flow, while each shard's general RNG (non-per-flow
+    /// fault draws, corruption bit picks) gets its own derived stream.
+    pub fn with_rng_seed(mut self, rng_seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(rng_seed);
+        self
+    }
+
+    /// Fold another fabric's counters into this one's, field by field.
+    /// Used to account shard-replica traffic against the parent fabric.
+    pub fn absorb_stats(&mut self, other: NetStats) {
+        self.stats.delivered += other.delivered;
+        self.stats.dropped += other.dropped;
+        self.stats.corrupted += other.corrupted;
+        self.stats.no_route += other.no_route;
+        self.stats.bytes_delivered += other.bytes_delivered;
+        self.stats.events += other.events;
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

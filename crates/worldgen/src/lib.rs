@@ -34,4 +34,4 @@ pub use config::WorldConfig;
 pub use providers::{named_providers, synthetic_providers, ProviderSpec};
 pub use psl::PublicSuffixList;
 pub use tranco::{TrancoList, CASE_STUDY_DOMAINS};
-pub use world::{GroundTruth, NsInfo, OpenResolverInfo, ProviderMeta, World};
+pub use world::{GroundTruth, NsInfo, OpenResolverInfo, ProviderMeta, ScanBlueprint, World};

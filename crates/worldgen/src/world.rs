@@ -9,7 +9,7 @@ use crate::psl::PublicSuffixList;
 use crate::tranco::TrancoList;
 use authdns::{
     AnswerMap, DelegationRegistry, DomainClass, HostingProvider, OracleRecursiveNs, ProviderNsNode,
-    StaticZoneNode, Zone, ZoneId,
+    SharedOracleNs, SharedProviderNs, StaticZoneNode, Zone, ZoneId,
 };
 use dnswire::{Name, RData, Record, RecordType};
 use intel::{
@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Countries used for geo spread.
 const COUNTRIES: [&str; 8] = ["US", "DE", "JP", "CN", "NL", "BR", "IN", "GB"];
@@ -141,6 +142,9 @@ pub struct World {
     /// Extra FQDNs (case-study subdomains) the scanner should probe in
     /// addition to the ranked apexes.
     pub extra_targets: Vec<Name>,
+    /// Ground-truth answer table backing the oracle nodes, retained so
+    /// scan shards can snapshot it.
+    pub answer_map: Rc<RefCell<AnswerMap>>,
 }
 
 impl World {
@@ -211,6 +215,95 @@ impl World {
         };
         let planted = plant_campaigns(&mut plan);
         self.truth.campaigns.extend(planted);
+    }
+
+    /// Snapshot the authoritative scan surface into a thread-shareable
+    /// blueprint from which shard workers build replica fabrics.
+    ///
+    /// Each provider's control plane is cloned once into an [`Arc`] (the
+    /// scan only reads it — [`HostingProvider::answer`] takes `&self`), as
+    /// is the oracle ground-truth table; per-shard fabrics then share the
+    /// snapshots instead of duplicating zone tables.
+    pub fn scan_blueprint(&self) -> ScanBlueprint {
+        let providers: Vec<Arc<HostingProvider>> = self
+            .providers
+            .iter()
+            .map(|p| Arc::new(p.borrow().clone()))
+            .collect();
+        let answers = Arc::new(self.answer_map.borrow().clone());
+        let nodes = self
+            .nameservers
+            .iter()
+            .map(|ns| {
+                let spec = match ns.provider_idx {
+                    Some(p) => ScanNodeSpec::Provider(p),
+                    None => ScanNodeSpec::Oracle,
+                };
+                (ns.ip, spec)
+            })
+            .collect();
+        ScanBlueprint {
+            fabric_seed: self.config.seed ^ 0x4E45,
+            latency: self.net.latency(),
+            providers,
+            answers,
+            nodes,
+        }
+    }
+}
+
+/// A thread-shareable snapshot of the world's authoritative nameservers:
+/// everything a scan shard needs to rebuild the server side of the fabric.
+///
+/// The blueprint is `Send + Sync`; shard workers borrow it and call
+/// [`ScanBlueprint::build_network`] to get their own single-threaded
+/// replica. Replicas answer bit-identically to the live world because the
+/// node snapshots are immutable and the fabric seed, latency model and
+/// per-flow fault seed are copied from the world fabric.
+pub struct ScanBlueprint {
+    fabric_seed: u64,
+    latency: LatencyModel,
+    providers: Vec<Arc<HostingProvider>>,
+    answers: Arc<AnswerMap>,
+    nodes: Vec<(Ipv4Addr, ScanNodeSpec)>,
+}
+
+enum ScanNodeSpec {
+    Provider(usize),
+    Oracle,
+}
+
+impl ScanBlueprint {
+    /// Build shard `shard`'s replica fabric.
+    ///
+    /// The replica keeps the world's fabric seed — and therefore its
+    /// per-flow fault seed, so a flow's loss lottery is the same no matter
+    /// which shard carries it — while the general RNG (non-per-flow fault
+    /// draws, corruption bit picks) gets a per-shard derived stream, the
+    /// way per-flow fates are derived from `(seed, src, dst, counter)`.
+    /// Traffic capture is off: shard probes are accounted via stats and
+    /// metrics, not the packet log.
+    pub fn build_network(&self, shard: u64) -> Network {
+        let rng_seed = self.fabric_seed ^ shard.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut net = Network::new(self.fabric_seed)
+            .with_latency(self.latency)
+            .with_rng_seed(rng_seed);
+        net.trace.set_enabled(false);
+        for (ip, spec) in &self.nodes {
+            let node: Box<dyn simnet::Node> = match spec {
+                ScanNodeSpec::Provider(p) => {
+                    Box::new(SharedProviderNs::new(self.providers[*p].clone(), *ip))
+                }
+                ScanNodeSpec::Oracle => Box::new(SharedOracleNs::new(self.answers.clone())),
+            };
+            net.add_node(*ip, node);
+        }
+        net
+    }
+
+    /// Number of nameserver nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 }
 
@@ -314,6 +407,7 @@ impl Builder {
             sandbox,
             truth: self.truth,
             extra_targets: self.extra_targets,
+            answer_map: self.answer_map,
         }
     }
 

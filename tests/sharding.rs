@@ -1,0 +1,146 @@
+//! The sharded collection fabric must be invisible in the results: for
+//! every shard count, on both executor paths, with and without injected
+//! loss, the pipeline produces bit-identical per-UR classifications,
+//! coverage accounting, and deterministic (sim-class) metrics. Sharding
+//! may only change wall-clock time, never the measurement.
+
+use simnet::FaultPlan;
+use urhunter::{classified_sequence_hash, run, CoverageReport, HunterConfig, QueryPlan, RunOutput};
+use worldgen::{World, WorldConfig};
+
+fn run_with(cfg: HunterConfig) -> RunOutput {
+    let mut world = World::generate(WorldConfig::small());
+    run(&mut world, &cfg)
+}
+
+/// Everything the shard-invariance contract covers.
+fn signature(out: &RunOutput) -> (u64, urhunter::Totals, usize, CoverageReport, String) {
+    (
+        classified_sequence_hash(&out.classified),
+        out.report.totals,
+        out.analysis.evidence.len(),
+        out.coverage.clone(),
+        out.report.render_table1(),
+    )
+}
+
+#[test]
+fn batch_path_is_bit_identical_across_shard_counts() {
+    let baseline = run_with(HunterConfig::fast().with_shards(1));
+    let base_sig = signature(&baseline);
+    assert!(
+        baseline.report.totals.total > 0,
+        "baseline collected nothing"
+    );
+    assert!(baseline.coverage.is_complete(), "coverage must balance");
+
+    for shards in [2usize, 4, 8] {
+        let out = run_with(HunterConfig::fast().with_shards(shards));
+        assert_eq!(
+            signature(&out),
+            base_sig,
+            "batch path diverges at shards={shards}"
+        );
+        assert_eq!(out.collected.len(), baseline.collected.len());
+    }
+}
+
+#[test]
+fn stream_path_is_bit_identical_across_shard_counts() {
+    let baseline = run_with(HunterConfig::fast().with_shards(1));
+    let base_sig = signature(&baseline);
+
+    for shards in [1usize, 2, 4, 8] {
+        let out = run_with(
+            HunterConfig::fast()
+                .with_shards(shards)
+                .with_parallelism(2)
+                .with_stream_batch_size(16),
+        );
+        assert_eq!(
+            signature(&out),
+            base_sig,
+            "stream path diverges from batch at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn sharding_is_invariant_under_injected_loss() {
+    // 1% per-flow drop with the default 3 attempts: retries, backoff waits
+    // and quarantine streaks all fire, and every per-flow fate must stay
+    // where it was — a flow's loss lottery may not move to a different
+    // outcome just because its nameserver landed in a different shard.
+    let lossy = |cfg: HunterConfig| {
+        cfg.with_retry_plan(QueryPlan::with_attempts(3))
+            .with_scan_faults(FaultPlan::lossy(0.01).scheduled_per_flow())
+    };
+    let baseline = run_with(lossy(HunterConfig::fast().with_shards(1)));
+    let base_sig = signature(&baseline);
+    assert!(
+        baseline.coverage.retransmissions > 0,
+        "1% drop never retransmitted — the test exercises nothing"
+    );
+
+    for shards in [2usize, 4, 8] {
+        let batch = run_with(lossy(HunterConfig::fast().with_shards(shards)));
+        assert_eq!(
+            signature(&batch),
+            base_sig,
+            "lossy batch path diverges at shards={shards}"
+        );
+        let stream = run_with(lossy(
+            HunterConfig::fast()
+                .with_shards(shards)
+                .with_parallelism(2)
+                .with_stream_batch_size(16),
+        ));
+        assert_eq!(
+            signature(&stream),
+            base_sig,
+            "lossy stream path diverges at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn sim_metrics_hash_is_identical_across_shard_counts() {
+    // The obs registry's deterministic subset (probe funnel, fabric
+    // counters, verdict funnel, stage sim deltas) must not see the shard
+    // count either: shard engines and fabrics mirror into the same
+    // counter cells, and counter sums commute.
+    let observed = |shards: usize, batch: usize| {
+        let mut world = World::generate(WorldConfig::small());
+        let hub = obs::Obs::shared();
+        let cfg = HunterConfig::fast()
+            .with_shards(shards)
+            .with_stream_batch_size(batch)
+            .with_obs(hub.clone());
+        let out = run(&mut world, &cfg);
+        (
+            hub.registry().sim_hash(),
+            classified_sequence_hash(&out.classified),
+        )
+    };
+    let reference = observed(1, 0);
+    for (shards, batch) in [(2usize, 0usize), (4, 0), (4, 16), (8, 16)] {
+        assert_eq!(
+            observed(shards, batch),
+            reference,
+            "sim metrics diverge at shards={shards} batch={batch}"
+        );
+    }
+}
+
+#[test]
+fn ethics_pacing_runs_unsharded() {
+    // Under per-server pacing the shard knob is clamped to 1 (the paper's
+    // single scanner interleaves probes across servers on one clock), so
+    // a sharded paced run is the paced run, down to the world clock.
+    let mut w1 = World::generate(WorldConfig::small());
+    let paced = run(&mut w1, &HunterConfig::paper_faithful());
+    let mut w2 = World::generate(WorldConfig::small());
+    let paced_sharded = run(&mut w2, &HunterConfig::paper_faithful().with_shards(8));
+    assert_eq!(signature(&paced), signature(&paced_sharded));
+    assert_eq!(w1.net.now(), w2.net.now(), "pacing clock must not shard");
+}
