@@ -62,8 +62,21 @@ test -n "$SHARD1_OUT" || {
     exit 1
 }
 
-echo "== smoke: cargo run -p bench --bin perf_snapshot =="
-cargo run --release -p bench --bin perf_snapshot
+echo "== smoke: xl_stream (streamed paper-scale path) =="
+# CI-sized streamed world: plan-backed lazy fabrics, scoped shard builds,
+# fold-style classification. The binary itself asserts full coverage,
+# category representation, and its peak-RSS budget.
+XL_SMOKE=$(cargo run --release -q -p bench --bin xl_stream -- smoke 8)
+echo "$XL_SMOKE"
+echo "$XL_SMOKE" | grep -q '"peak_rss_mb"' || {
+    echo "ci.sh: xl_stream smoke did not report peak_rss_mb" >&2
+    exit 1
+}
+
+echo "== smoke: cargo run -p bench --bin perf_snapshot (with xl block) =="
+# URHUNTER_BENCH_XL=1 keeps the regenerated BENCH_pipeline.json shaped
+# like the committed one: the xl block must never silently disappear.
+URHUNTER_BENCH_XL=1 cargo run --release -p bench --bin perf_snapshot
 grep -q '"pipeline_stream_ms"' BENCH_pipeline.json || {
     echo "ci.sh: BENCH_pipeline.json is missing pipeline_stream_ms" >&2
     exit 1
@@ -72,7 +85,8 @@ grep -q '"metrics_overhead_ratio"' BENCH_pipeline.json || {
     echo "ci.sh: BENCH_pipeline.json is missing metrics_overhead_ratio" >&2
     exit 1
 }
-for field in '"collect_ms"' '"urs_per_sec"' '"shards"' '"collect_sharded_ms"'; do
+for field in '"collect_ms"' '"urs_per_sec"' '"shards"' '"collect_sharded_ms"' \
+    '"peak_rss_mb"' '"xl"'; do
     grep -q "$field" BENCH_pipeline.json || {
         echo "ci.sh: BENCH_pipeline.json is missing $field" >&2
         exit 1

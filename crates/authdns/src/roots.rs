@@ -7,6 +7,7 @@
 
 use crate::zone::Zone;
 use dnswire::{Name, RData, Record};
+use intern::InternedName;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -29,8 +30,13 @@ struct RootData {
 #[derive(Debug)]
 struct TldData {
     ip: Ipv4Addr,
-    /// domain -> (ns name, ns ip) delegation set
-    delegations: HashMap<Name, Vec<(Name, Ipv4Addr)>>,
+    /// domain -> (ns name, ns ip) delegation set. Keyed by interned name:
+    /// registered domains are world-controlled and heavily re-looked-up
+    /// (once per scan target per shard), so the 4-byte id keeps the map
+    /// compact and probes are an integer hash away. Callers pass `&Name`;
+    /// the probe is interned, which is fine for the world-scale name sets
+    /// this registry serves.
+    delegations: HashMap<InternedName, Vec<(Name, Ipv4Addr)>>,
 }
 
 impl DelegationRegistry {
@@ -81,7 +87,7 @@ impl DelegationRegistry {
             .get_mut(&tld)
             .expect("tld present")
             .delegations
-            .insert(domain.clone(), nameservers);
+            .insert(InternedName::intern(domain), nameservers);
     }
 
     /// Remove a delegation (domain expiry / provider switch).
@@ -91,7 +97,7 @@ impl DelegationRegistry {
                 .get_mut(&tld)
                 .expect("tld present")
                 .delegations
-                .remove(domain);
+                .remove(&InternedName::intern(domain));
         }
     }
 
@@ -125,7 +131,7 @@ impl DelegationRegistry {
         self.tlds
             .get(&tld)?
             .delegations
-            .get(domain)
+            .get(&InternedName::intern(domain))
             .map(Vec::as_slice)
     }
 
@@ -137,7 +143,10 @@ impl DelegationRegistry {
         let mut labels = name.label_count();
         while labels > tld.label_count() {
             if let Some(candidate) = name.suffix(labels) {
-                if data.delegations.contains_key(&candidate) {
+                if data
+                    .delegations
+                    .contains_key(&InternedName::intern(&candidate))
+                {
                     return Some(candidate);
                 }
             }
@@ -175,7 +184,7 @@ impl DelegationRegistry {
         for (domain, nameservers) in &data.delegations {
             for (ns_name, ns_ip) in nameservers {
                 zone.add(Record::new(
-                    domain.clone(),
+                    domain.to_name(),
                     DELEGATION_TTL,
                     RData::Ns(ns_name.clone()),
                 ));

@@ -23,8 +23,7 @@ fn main() {
     let e2 = run(&mut world, &cfg);
     println!("{}", e2.report.render_summary());
 
-    let key =
-        |u: &urhunter::ClassifiedUr| (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype);
+    let key = |u: &urhunter::ClassifiedUr| (u.ur.key.ns_ip, u.ur.key.domain, u.ur.key.rtype);
     let set = |out: &urhunter::RunOutput, cat: UrCategory| {
         out.classified
             .iter()

@@ -364,6 +364,49 @@ fn main() {
         );
     }
 
+    // Medium-world memory high-water, captured *before* any xl work so the
+    // number describes the medium snapshot alone.
+    let peak_rss = bench::peak_rss_mb();
+
+    // Paper-scale block: the streamed xl preset (>= 1M URs through the
+    // lazy plan-backed world). Heavy enough that it only runs when asked
+    // for (URHUNTER_BENCH_XL=1) — CI exercises the same path through the
+    // sub-second `xl_stream smoke` gate instead. The recorded snapshot is
+    // generated with the block enabled.
+    let xl_json = if std::env::var("URHUNTER_BENCH_XL").as_deref() == Ok("1") {
+        const XL_SHARDS: usize = 8;
+        let xl_world = worldgen::StreamWorld::generate(WorldConfig::xl());
+        let xl_cfg = HunterConfig::fast().with_keep_raw_collected(false);
+        let t0 = Instant::now();
+        let xl = urhunter::run_streamed(&xl_world, &xl_cfg, XL_SHARDS);
+        let xl_secs = t0.elapsed().as_secs_f64();
+        let xl_urs_per_sec = xl.total_urs as f64 / xl_secs.max(1e-9);
+        let xl_rss = bench::peak_rss_mb();
+        assert!(
+            xl.total_urs >= 1_000_000,
+            "xl preset must produce at least 1M URs, got {}",
+            xl.total_urs
+        );
+        assert_eq!(xl.coverage.scheduled, xl.coverage.answered);
+        assert!(
+            xl_urs_per_sec >= 30_000.0,
+            "xl streamed scan fell below 30K URs/s ({xl_urs_per_sec:.0})"
+        );
+        assert!(
+            xl_rss <= 4096,
+            "xl streamed scan peaked at {xl_rss} MiB (budget 4096 MiB)"
+        );
+        format!(
+            ",\n  \"xl\": {{ \"world_shards\": {XL_SHARDS}, \
+             \"nameservers\": {}, \"urs\": {}, \
+             \"sequence_hash\": {}, \"scan_secs\": {xl_secs:.2}, \
+             \"urs_per_sec\": {xl_urs_per_sec:.0}, \"peak_rss_mb\": {xl_rss} }}",
+            xl.nameserver_count, xl.total_urs, xl.sequence_hash,
+        )
+    } else {
+        String::new()
+    };
+
     let cov = &out.coverage;
     let retry = &HunterConfig::fast().retry;
     let json = format!(
@@ -371,6 +414,7 @@ fn main() {
          \"urs_collected\": {},\n  \"worldgen_ms\": {worldgen_ms:.2},\n  \
          \"collect_ms\": {collect_ms:.2},\n  \
          \"urs_per_sec\": {urs_per_sec:.0},\n  \
+         \"peak_rss_mb\": {peak_rss},\n  \
          \"shards\": {{ \"scaling_shards\": {SCALING_SHARDS}, \
          \"collect_1shard_ms\": {collect_ms:.2}, \
          \"collect_sharded_ms\": {collect_sharded_ms:.2}, \
@@ -403,7 +447,7 @@ fn main() {
          \"retry\": {{ \"attempts\": {}, \"timeout_ms\": {} }},\n  \
          \"coverage\": {{ \"scheduled\": {}, \"answered\": {}, \"retried_answered\": {}, \
          \"gave_up\": {}, \"skipped_quarantined\": {}, \"retransmissions\": {}, \
-         \"quarantined_servers\": {} }}\n}}\n",
+         \"quarantined_servers\": {} }}{xl_json}\n}}\n",
         out.collected.len(),
         obs_out.overlap.classify_busy_ms,
         obs_out.overlap.classify_hidden_ms,

@@ -1,0 +1,97 @@
+//! `xl_stream` — drive the streamed paper-scale pipeline and report its
+//! memory/throughput envelope.
+//!
+//! Runs [`run_streamed`] against a plan-backed [`StreamWorld`] and prints
+//! one JSON line: UR population, category split, probe coverage, the
+//! order-sensitive sequence digest, wall-clock throughput (`urs_per_sec`)
+//! and the process peak RSS (`peak_rss_mb`, from `/proc/self/status`
+//! `VmHWM` where available).
+//!
+//! ```text
+//! xl_stream [xl|paper|smoke] [world_shards]
+//! ```
+//!
+//! `smoke` is the CI-sized variant: a scaled-down `xl` config that keeps
+//! the whole lazy path honest — plan-backed generation, scoped shard
+//! fabrics, fold-style classification — in a couple of seconds, with a
+//! hard peak-RSS gate. The full `xl` preset (≥ 1M URs) is gated in
+//! `perf_snapshot` instead, where its numbers land in `BENCH_pipeline.json`.
+
+use bench::peak_rss_mb;
+use urhunter::{run_streamed, HunterConfig};
+use worldgen::{StreamWorld, WorldConfig};
+
+fn smoke_config() -> WorldConfig {
+    let mut cfg = WorldConfig::xl();
+    cfg.top_domains = 300;
+    cfg.synthetic_providers = 24;
+    cfg.attack_campaigns = 4_000;
+    cfg.total_nameservers = Some(120);
+    cfg
+}
+
+fn main() {
+    let preset = std::env::args().nth(1).unwrap_or_else(|| "smoke".into());
+    let shards: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("world_shards must be a number"))
+        .unwrap_or(8);
+    let config = match preset.as_str() {
+        "xl" => WorldConfig::xl(),
+        "paper" => WorldConfig::paper(),
+        "smoke" => smoke_config(),
+        other => {
+            eprintln!("xl_stream: unknown preset {other:?} (xl|paper|smoke)");
+            std::process::exit(2);
+        }
+    };
+    let gen_start = std::time::Instant::now();
+    let world = StreamWorld::generate(config);
+    let gen_ms = gen_start.elapsed().as_secs_f64() * 1e3;
+    let cfg = HunterConfig::fast().with_keep_raw_collected(false);
+    let start = std::time::Instant::now();
+    let out = run_streamed(&world, &cfg, shards);
+    let secs = start.elapsed().as_secs_f64();
+    let urs_per_sec = out.total_urs as f64 / secs.max(1e-9);
+    let rss = peak_rss_mb();
+    println!(
+        "{{\"preset\": \"{preset}\", \"world_shards\": {}, \"nameservers\": {}, \
+         \"targets\": {}, \"urs\": {}, \"correct\": {}, \"protective\": {}, \
+         \"unknown\": {}, \"scheduled\": {}, \"answered\": {}, \
+         \"sequence_hash\": {}, \"gen_ms\": {gen_ms:.1}, \"scan_secs\": {secs:.2}, \
+         \"urs_per_sec\": {urs_per_sec:.0}, \"peak_rss_mb\": {rss}}}",
+        out.shards,
+        out.nameserver_count,
+        out.target_count,
+        out.total_urs,
+        out.correct,
+        out.protective,
+        out.unknown,
+        out.coverage.scheduled,
+        out.coverage.answered,
+        out.sequence_hash,
+    );
+    // Sanity gates shared by every preset: the scan must produce URs in
+    // every classification bucket and answer everything it scheduled.
+    assert!(out.total_urs > 0, "streamed scan produced no URs");
+    assert!(out.correct > 0 && out.protective > 0 && out.unknown > 0);
+    assert_eq!(out.coverage.scheduled, out.coverage.answered);
+    // Memory gates: the whole point of the lazy path. The smoke world must
+    // stay within a CI-friendly budget; the big presets within a
+    // workstation one (tuned from measured peaks with ~40% headroom).
+    let budget_mb = match preset.as_str() {
+        "smoke" => 700,
+        _ => 4096,
+    };
+    assert!(
+        rss <= budget_mb,
+        "peak RSS {rss} MiB exceeds {budget_mb} MiB budget for {preset}"
+    );
+    if preset == "xl" {
+        assert!(
+            out.total_urs >= 1_000_000,
+            "xl preset must produce at least 1M URs, got {}",
+            out.total_urs
+        );
+    }
+}

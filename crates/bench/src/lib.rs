@@ -66,3 +66,25 @@ pub fn small_run() -> (World, RunOutput) {
 pub fn compare(label: &str, measured: f64, paper: f64) {
     println!("  {label:<18} measured {measured:>7.2}%   paper {paper:>7.2}%");
 }
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), or 0 on platforms without procfs. This is the
+/// process-wide high-water mark, so in a binary that runs several
+/// workloads it reflects the largest of them.
+pub fn peak_rss_mb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb / 1024;
+        }
+    }
+    0
+}

@@ -93,11 +93,11 @@ pub fn analyze(
     cfg: &AnalyzeConfig,
 ) -> Analysis {
     // Sibling-A index over suspicious URs.
-    let mut sibling_a: HashMap<(Ipv4Addr, dnswire::Name), Vec<Ipv4Addr>> = HashMap::new();
+    let mut sibling_a: HashMap<(Ipv4Addr, intern::InternedName), Vec<Ipv4Addr>> = HashMap::new();
     for c in classified.iter() {
         if c.ur.key.rtype == RecordType::A && c.category == UrCategory::Unknown {
             sibling_a
-                .entry((c.ur.key.ns_ip, c.ur.key.domain.clone()))
+                .entry((c.ur.key.ns_ip, c.ur.key.domain))
                 .or_default()
                 .extend(c.ur.a_ips());
         }
@@ -107,7 +107,7 @@ pub fn analyze(
             && c.category == UrCategory::Unknown
             && c.corresponding_ips.is_empty()
         {
-            if let Some(ips) = sibling_a.get(&(c.ur.key.ns_ip, c.ur.key.domain.clone())) {
+            if let Some(ips) = sibling_a.get(&(c.ur.key.ns_ip, c.ur.key.domain)) {
                 c.corresponding_ips = ips.clone();
             }
         }
@@ -215,6 +215,8 @@ mod tests {
     use dnswire::{Name, RData, Record};
     use intel::{ThreatTag, VendorFeed};
 
+    use intern::InternedName;
+
     fn n(s: &str) -> Name {
         s.parse().unwrap()
     }
@@ -244,7 +246,7 @@ mod tests {
             ur: CollectedUr {
                 key: UrKey {
                     ns_ip: ip(ns),
-                    domain: n(domain),
+                    domain: InternedName::intern(&n(domain)),
                     rtype,
                 },
                 records,

@@ -1,11 +1,20 @@
 //! `urhunter` — command-line front end for the measurement pipeline.
 //!
 //! ```text
-//! urhunter [--scale small|default] [--seed N] [--report summary|table1|figure2|figure3|table2|all]
+//! urhunter [--scale small|default] [--world medium|paper|xl] [--seed N]
+//!          [--report summary|table1|figure2|figure3|table2|all]
 //!          [--parallelism N] [--batch-size N] [--shards N]
 //!          [--retries N] [--timeout MS] [--fault-drop P]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
 //! ```
+//!
+//! `--world` selects a memory-profile preset: `medium` runs the
+//! materialized benchmark world through the full pipeline, while `paper`
+//! (the paper's 8,941-nameserver inventory) and `xl` (>= 1M URs) run the
+//! streamed path — lazy plan-backed shard fabrics, URs folded into
+//! category counters and a sequence digest as they arrive, nothing
+//! retained — and print the scan summary (only `--seed` and `--shards`
+//! apply there).
 //!
 //! `--parallelism 0` (the default) sizes the classification worker pool
 //! from the machine; `--batch-size N` (N > 0) switches to the streaming
@@ -40,6 +49,7 @@ use worldgen::{World, WorldConfig};
 
 struct Args {
     scale: String,
+    world: Option<String>,
     seed: Option<u64>,
     report: String,
     parallelism: Option<usize>,
@@ -58,12 +68,16 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: urhunter [--scale small|default] [--seed N] \
+        "usage: urhunter [--scale small|default] [--world medium|paper|xl] [--seed N] \
          [--report summary|table1|figure2|figure3|table2|all]\n\
          \u{20}               [--parallelism N] [--batch-size N] [--shards N]\n\
          \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
          \u{20}               [--metrics-out FILE]\n\
+         \u{20} --world medium runs the materialized medium world through the full\n\
+         \u{20} pipeline; --world paper|xl runs the paper-scale streamed path (lazy\n\
+         \u{20} plan-backed fabrics, URs folded into counters as they arrive) and\n\
+         \u{20} prints the scan summary — only --seed and --shards apply there;\n\
          \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
          \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch;\n\
          \u{20} --shards N runs the bulk scan on N replica fabrics partitioned by\n\
@@ -80,6 +94,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         scale: "small".to_string(),
+        world: None,
         seed: None,
         report: "summary".to_string(),
         parallelism: None,
@@ -99,6 +114,14 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => args.scale = it.next().unwrap_or_else(|| usage()),
+            "--world" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                if !matches!(v.as_str(), "medium" | "paper" | "xl") {
+                    eprintln!("--world must be one of medium|paper|xl (got {v})");
+                    usage()
+                }
+                args.world = Some(v);
+            }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 args.seed = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -172,14 +195,71 @@ fn parse_args() -> Args {
     args
 }
 
+/// The streamed paper-scale path: a plan-backed [`worldgen::StreamWorld`]
+/// scanned shard-by-shard with URs folded into counters as they arrive.
+/// None of the report renderers apply (the stream never materializes the
+/// classified set), so this prints the scan summary and returns.
+fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
+    let mut config = match preset {
+        "paper" => WorldConfig::paper(),
+        "xl" => WorldConfig::xl(),
+        _ => unreachable!("validated in parse_args"),
+    };
+    if let Some(seed) = args.seed {
+        config = config.with_seed(seed);
+    }
+    let shards = args.shards.unwrap_or(8);
+    eprintln!(
+        "generating streamed world (preset={preset}, seed={})...",
+        config.seed
+    );
+    let world = worldgen::StreamWorld::generate(config);
+    eprintln!(
+        "streaming scan: {} nameservers x {} targets on {shards} shard(s)...",
+        world.nameservers.len(),
+        world.scan_targets().len()
+    );
+    let hunter = HunterConfig::fast().with_keep_raw_collected(false);
+    let out = urhunter::run_streamed(&world, &hunter, shards);
+    println!(
+        "world {preset}: {} nameservers, {} targets, {} shard(s)\n\
+         probes: {} scheduled, {} answered\n\
+         undelegated records: {} total ({} correct, {} protective, {} unknown)\n\
+         sequence hash: {:#018x}",
+        out.nameserver_count,
+        out.target_count,
+        out.shards,
+        out.coverage.scheduled,
+        out.coverage.answered,
+        out.total_urs,
+        out.correct,
+        out.protective,
+        out.unknown,
+        out.sequence_hash,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
-    let mut config = match args.scale.as_str() {
-        "small" => WorldConfig::small(),
-        "default" => WorldConfig::default_scale(),
-        other => {
-            eprintln!("unknown scale: {other}");
-            return ExitCode::from(2);
+    if let Some(world) = args.world.as_deref() {
+        match world {
+            // `--world medium` is the materialized preset: it runs the
+            // normal pipeline below on the benchmark world.
+            "medium" => {}
+            preset => return run_world_preset(&args, preset),
+        }
+    }
+    let mut config = if args.world.as_deref() == Some("medium") {
+        WorldConfig::medium()
+    } else {
+        match args.scale.as_str() {
+            "small" => WorldConfig::small(),
+            "default" => WorldConfig::default_scale(),
+            other => {
+                eprintln!("unknown scale: {other}");
+                return ExitCode::from(2);
+            }
         }
     };
     if let Some(seed) = args.seed {

@@ -261,11 +261,16 @@ fn classify_txt(
     history: &PassiveDns,
     cfg: &ClassifyConfig,
 ) -> Verdict {
-    let texts = ur.txt_strings();
+    let texts = ur.txt_strs();
     let profile = correct.profile(&ur.key.domain);
-    // Exact match against correct TXT records.
+    // Exact match against correct TXT records. `Sym::lookup` probes the
+    // profile set without interning (attacker-controlled) scan data.
     let mut reason = None;
-    if !texts.is_empty() && texts.iter().all(|t| profile.txts.contains(t)) {
+    if !texts.is_empty()
+        && texts
+            .iter()
+            .all(|t| intern::Sym::lookup(t).is_some_and(|s| profile.txts.contains(&s)))
+    {
         reason = Some(CorrectReason::TxtExact);
     } else if cfg.use_pdns
         && !ur.records.is_empty()
@@ -320,7 +325,11 @@ fn classify_mx(
     let rendered: Vec<String> = ur.records.iter().map(|r| r.rdata.to_string()).collect();
 
     let mut reason = None;
-    if !rendered.is_empty() && rendered.iter().all(|m| profile.mxs.contains(m)) {
+    if !rendered.is_empty()
+        && rendered
+            .iter()
+            .all(|m| intern::Sym::lookup(m).is_some_and(|s| profile.mxs.contains(&s)))
+    {
         reason = Some(CorrectReason::MxExact);
     } else if cfg.use_pdns
         && !ur.records.is_empty()
@@ -668,6 +677,8 @@ mod tests {
     use dnswire::{Name, RData, Record};
     use netdb::{CertInfo, GeoInfo, HttpProfile};
 
+    use intern::InternedName;
+
     fn n(s: &str) -> Name {
         s.parse().unwrap()
     }
@@ -680,7 +691,7 @@ mod tests {
         CollectedUr {
             key: UrKey {
                 ns_ip: ip(ns),
-                domain: n(domain),
+                domain: InternedName::intern(&n(domain)),
                 rtype: RecordType::A,
             },
             records: addrs
@@ -698,7 +709,7 @@ mod tests {
         CollectedUr {
             key: UrKey {
                 ns_ip: ip(ns),
-                domain: n(domain),
+                domain: InternedName::intern(&n(domain)),
                 rtype: RecordType::Txt,
             },
             records: vec![Record::new(n(domain), 60, RData::txt_from_str(text))],
@@ -728,7 +739,9 @@ mod tests {
             .certs
             .insert(CertInfo::for_domain("site.com", "SimCA").fingerprint);
         profile.txts.insert("v=spf1 ip4:30.0.0.10 -all".into());
-        correct.domains.insert(n("site.com"), profile);
+        correct
+            .domains
+            .insert(InternedName::intern(&n("site.com")), profile);
 
         let mut metadata = NetDb::new();
         metadata.add_prefix("30.0.0.0/24".parse().unwrap(), 65_000, "Hosting");

@@ -6,6 +6,7 @@ use crate::query::ProbeEngine;
 use crate::schedule::QueryScheduler;
 use crate::types::{CollectedUr, CorrectDb, DomainProfile, ProtectiveDb, UrKey};
 use dnswire::{Name, Rcode, RecordType};
+use intern::{InternedName, Sym};
 use simnet::Network;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -83,12 +84,12 @@ pub(crate) fn query_one_ur(
     Some(CollectedUr {
         key: UrKey {
             ns_ip,
-            domain: domain.clone(),
+            domain: InternedName::intern(domain),
             rtype,
         },
         records,
         aux_records: Vec::new(),
-        provider: provider.into(),
+        provider: Sym::intern(provider),
         authoritative: resp.flags.authoritative,
         recursion_available: resp.flags.recursion_available,
     })
@@ -233,6 +234,26 @@ pub fn collect_urs_stream(
     }
 }
 
+/// Per-target delegated-server sets, resolved once: which addresses each
+/// target is exactly delegated to (delegation of an enclosing registered
+/// suffix covers subdomain targets). Shared by the global task builder and
+/// the per-shard streamed builder.
+fn delegated_ip_sets(
+    world_registry: &authdns::DelegationRegistry,
+    targets: &[Name],
+) -> Vec<HashSet<Ipv4Addr>> {
+    targets
+        .iter()
+        .map(|domain| {
+            world_registry
+                .registered_suffix(domain)
+                .and_then(|suffix| world_registry.delegation_of(&suffix))
+                .map(|servers| servers.iter().map(|(_, ip)| *ip).collect())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
 /// Build the full unrandomized scan task list: the cross product of
 /// selected nameservers × targets × record types, minus pairs where the
 /// domain is exactly delegated to that server.
@@ -242,20 +263,11 @@ fn build_scan_tasks(
     targets: &[Name],
     cfg: &CollectConfig,
 ) -> Vec<(usize, usize, RecordType)> {
-    // Per-target delegated-server sets, resolved once. The old per-pair
-    // lookup re-ran registered_suffix + delegation_of and cloned the
-    // delegation Vec for every (nameserver, target) combination —
-    // O(N·M) allocations; this is O(N + M).
-    let delegated_ips: Vec<HashSet<Ipv4Addr>> = targets
-        .iter()
-        .map(|domain| {
-            world_registry
-                .registered_suffix(domain)
-                .and_then(|suffix| world_registry.delegation_of(&suffix))
-                .map(|servers| servers.iter().map(|(_, ip)| *ip).collect())
-                .unwrap_or_default()
-        })
-        .collect();
+    // Resolved once per target. The old per-pair lookup re-ran
+    // registered_suffix + delegation_of and cloned the delegation Vec for
+    // every (nameserver, target) combination — O(N·M) allocations; this is
+    // O(N + M).
+    let delegated_ips = delegated_ip_sets(world_registry, targets);
 
     let mut tasks: Vec<(usize, usize, RecordType)> = Vec::new();
     for (ni, ns) in nameservers.iter().enumerate() {
@@ -510,6 +522,126 @@ pub fn collect_urs_sharded(
     outcome
 }
 
+/// Sequential streamed bulk scan for plan-backed worlds (the `paper` and
+/// `xl` presets): the memory-bounded counterpart of
+/// [`collect_urs_sharded`].
+///
+/// The selected nameservers are split into `world_shards` contiguous
+/// ranges. Shards run *one after another*: each builds a scoped replica
+/// fabric holding only its own nameserver nodes
+/// ([`worldgen::ScanBlueprint::build_network_scoped`] — on a lazy blueprint
+/// that materializes just the providers owning those addresses), scans its
+/// slice, streams URs straight to `sink`, and is dropped before the next
+/// shard starts. Peak memory is therefore one shard's zone tables plus one
+/// shard's task list, independent of world size.
+///
+/// The canonical order is *shard-major*: each shard's tasks are randomized
+/// with a seed derived from `scheduler_seed` and the shard index, and URs
+/// reach `sink` in probe order — there is no global splice buffer. Output
+/// is deterministic in `(world, scheduler_seed, world_shards)`; unlike the
+/// sharded scan it intentionally *depends* on `world_shards`, which is
+/// part of a streamed run's configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_urs_streamed(
+    blueprint: &worldgen::ScanBlueprint,
+    plan: crate::query::QueryPlan,
+    faults: simnet::FaultPlan,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    world_registry: &authdns::DelegationRegistry,
+    nameservers: &[NsInfo],
+    targets: &[Name],
+    cfg: &CollectConfig,
+    scheduler_seed: u64,
+    pacing: simnet::SimDuration,
+    world_shards: usize,
+    batch_size: usize,
+    sink: &mut dyn FnMut(Vec<CollectedUr>),
+) -> ShardedScanOutcome {
+    let delegated_ips = delegated_ip_sets(world_registry, targets);
+    let ranges = par::chunk_ranges(nameservers.len(), world_shards.max(1));
+    let batch_size = if batch_size == 0 {
+        usize::MAX
+    } else {
+        batch_size
+    };
+    let mut outcome = ShardedScanOutcome {
+        coverage: crate::query::CoverageReport::default(),
+        elapsed: simnet::SimDuration::ZERO,
+        stats: simnet::NetStats::default(),
+        shards: ranges.len(),
+    };
+    let mut pending: Vec<CollectedUr> = Vec::new();
+    for (shard_idx, range) in ranges.iter().enumerate() {
+        // This shard's slice of the cross product, randomized with its own
+        // derived seed. Building per shard keeps the task list O(slice)
+        // instead of O(inventory) — on a paper-scale world the global list
+        // alone would be hundreds of megabytes.
+        let mut tasks: Vec<ScanTask> = Vec::new();
+        for ni in range.clone() {
+            let ns_ip = nameservers[ni].ip;
+            for (di, delegated) in delegated_ips.iter().enumerate() {
+                if delegated.contains(&ns_ip) {
+                    continue;
+                }
+                for &rt in &cfg.query_types {
+                    tasks.push((ni, di, rt));
+                }
+            }
+        }
+        let shard_seed =
+            scheduler_seed ^ (shard_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sched = QueryScheduler::new(shard_seed, pacing);
+        sched.randomize(&mut tasks);
+        let scope: Vec<Ipv4Addr> = range.clone().map(|ni| nameservers[ni].ip).collect();
+        let mut net = blueprint.build_network_scoped(shard_idx as u64, &scope);
+        net.set_faults(faults);
+        if let Some(hub) = &obs {
+            net.set_obs(Some(simnet::FabricMetrics::register(hub.registry())));
+        }
+        let mut engine = ProbeEngine::new(plan);
+        if let Some(hub) = &obs {
+            engine = engine.with_obs(hub.clone());
+        }
+        let mut qids = QidGen::new();
+        for (ni, di, rtype) in tasks {
+            let ns = &nameservers[ni];
+            sched.admit(&mut net, ns.ip);
+            if let Some(ur) = probe_task(
+                &mut net,
+                &mut engine,
+                &mut qids,
+                scan_stream(ni, di),
+                ns,
+                &targets[di],
+                rtype,
+                cfg,
+            ) {
+                pending.push(ur);
+                if pending.len() >= batch_size {
+                    sink(std::mem::take(&mut pending));
+                }
+            }
+        }
+        let elapsed = net.now() - simnet::SimTime::ZERO;
+        net.settle();
+        outcome.coverage.absorb(&engine.take_coverage());
+        outcome.elapsed = outcome.elapsed + elapsed;
+        let stats = net.stats();
+        outcome.stats.delivered += stats.delivered;
+        outcome.stats.dropped += stats.dropped;
+        outcome.stats.corrupted += stats.corrupted;
+        outcome.stats.no_route += stats.no_route;
+        outcome.stats.bytes_delivered += stats.bytes_delivered;
+        outcome.stats.events += stats.events;
+        // `net` (the shard's zones and nodes) drops here, before the next
+        // shard materializes its slice.
+    }
+    if !pending.is_empty() {
+        sink(pending);
+    }
+    outcome
+}
+
 /// Collect correct records: ask a sample of stable open resolvers for each
 /// target's A and TXT records, then enrich addresses with AS / geo / cert
 /// metadata. (Unstable resolvers are excluded up front, per the ethics
@@ -548,10 +680,10 @@ pub fn collect_correct(
                 for r in &resp.answers {
                     if let Some(ip) = r.rdata.as_a() {
                         profile.ips.insert(ip);
-                    } else if let Some(t) = r.rdata.txt_joined() {
-                        profile.txts.insert(t);
+                    } else if let Some(t) = r.rdata.txt_str() {
+                        profile.txts.insert(Sym::intern(&t));
                     } else if matches!(r.rdata, dnswire::RData::Mx { .. }) {
-                        profile.mxs.insert(r.rdata.to_string());
+                        profile.mxs.insert(Sym::intern(&r.rdata.to_string()));
                     }
                 }
             }
@@ -568,7 +700,50 @@ pub fn collect_correct(
                 profile.certs.insert(cert.fingerprint);
             }
         }
-        db.domains.insert(domain.clone(), profile);
+        db.domains.insert(InternedName::intern(domain), profile);
+    }
+    db
+}
+
+/// Synthesize the correct-record database from a stream world's hosting
+/// ground truth. Plan-backed worlds have no open-resolver fleet to probe;
+/// the plan *is* what a resolver sweep would observe (each target's
+/// legitimate addresses and SPF TXT), enriched from the same metadata
+/// database the probed path uses.
+pub fn correct_db_from_stream(world: &worldgen::StreamWorld) -> CorrectDb {
+    let mut db = CorrectDb::default();
+    for site in &world.legit {
+        let mut profile = DomainProfile::default();
+        for &ip in &site.ips {
+            profile.ips.insert(ip);
+            if let Some(asn) = world.db.asn_of(ip) {
+                profile.asns.insert(asn.asn);
+            }
+            if let Some(geo) = world.db.geo_of(ip) {
+                profile.geos.insert((geo.country, geo.city));
+            }
+            if let Some(cert) = world.db.cert_of(ip) {
+                profile.certs.insert(cert.fingerprint);
+            }
+        }
+        if let Some(spf) = &site.spf {
+            profile.txts.insert(Sym::intern(spf));
+        }
+        db.domains
+            .insert(InternedName::intern(&site.domain), profile);
+    }
+    db
+}
+
+/// Synthesize the protective-record database from a stream world's plan:
+/// exactly what probing every protective nameserver with an unhosted
+/// canary ([`collect_protective`]) would record.
+pub fn protective_db_from_stream(world: &worldgen::StreamWorld) -> ProtectiveDb {
+    let mut db = ProtectiveDb::default();
+    for (ns_ip, warn_ip, txt) in world.protective_servers() {
+        let profile = db.servers.entry(ns_ip).or_default();
+        profile.a_ips.insert(warn_ip);
+        profile.txts.insert(Sym::intern(&txt));
     }
     db
 }
@@ -600,8 +775,8 @@ pub fn collect_protective(
                 if let Some(ip) = r.rdata.as_a() {
                     profile.a_ips.insert(ip);
                 }
-                if let Some(t) = r.rdata.txt_joined() {
-                    profile.txts.insert(t);
+                if let Some(t) = r.rdata.txt_str() {
+                    profile.txts.insert(Sym::intern(&t));
                 }
             }
         }
@@ -658,7 +833,7 @@ mod tests {
         for u in &urs {
             let delegated_here = world
                 .registry
-                .delegation_of(&u.key.domain)
+                .delegation_of(&u.key.domain.to_name())
                 .map(|d| d.iter().any(|(_, ip)| *ip == u.key.ns_ip))
                 .unwrap_or(false);
             assert!(
@@ -687,7 +862,7 @@ mod tests {
         );
         let mut resolved = 0;
         for d in &targets {
-            let p = db.profile(d);
+            let p = db.profile_of_name(d);
             if !p.ips.is_empty() {
                 resolved += 1;
                 assert!(!p.asns.is_empty(), "{d}: enrichment missing ASNs");

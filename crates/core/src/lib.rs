@@ -46,6 +46,7 @@ pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod schedule;
+pub mod store;
 pub mod types;
 
 pub use analyze::{analyze, evidence_histogram, run_sandboxes, Analysis, AnalyzeConfig};
@@ -56,16 +57,19 @@ pub use classify::{
 };
 pub use collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_sharded, collect_urs_stream,
-    partition_scan_tasks, scan_stream, select_nameservers, CollectConfig, QidGen, ScanTask,
-    ShardTasks, ShardedScanOutcome, NS_SELECTION_THRESHOLD,
+    collect_urs_streamed, correct_db_from_stream, partition_scan_tasks, protective_db_from_stream,
+    scan_stream, select_nameservers, CollectConfig, QidGen, ScanTask, ShardTasks,
+    ShardedScanOutcome, NS_SELECTION_THRESHOLD,
 };
 pub use defense::{BypassAlert, EgressMonitor};
 pub use pipeline::{
-    classified_sequence_hash, evaluate_false_negatives, run, HunterConfig, OverlapStats, RunOutput,
+    classified_sequence_hash, evaluate_false_negatives, run, run_streamed, HunterConfig,
+    OverlapStats, RunOutput, SequenceHasher, StreamRunOutput,
 };
 pub use query::{CoverageReport, NsHealth, ProbeEngine, QueryPlan};
 pub use report::{build_report, ProviderRow, Report, ReportBuilder, Table1Row, Totals};
 pub use schedule::{QueryScheduler, PAPER_PER_SERVER_INTERVAL};
+pub use store::UrStore;
 pub use types::{
     ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, DomainProfile, MaliciousEvidence,
     ProtectiveDb, ProtectiveProfile, TxtCategory, UrCategory, UrKey,

@@ -3,8 +3,7 @@
 
 use crate::analyze::{analyze, run_sandboxes, Analysis, AnalyzeConfig};
 use crate::classify::{
-    classify_all, classify_all_observed, classify_shard, AttrCacheMetrics, ClassifyConfig,
-    StreamClassifier,
+    classify_all, classify_shard, AttrCacheMetrics, ClassifyConfig, StreamClassifier,
 };
 use crate::collect::{
     collect_correct, collect_protective, collect_urs_sharded, query_one_ur, select_nameservers,
@@ -13,11 +12,17 @@ use crate::collect::{
 use crate::query::{CoverageReport, ProbeEngine, QueryPlan};
 use crate::report::{build_report, Report};
 use crate::schedule::QueryScheduler;
+use crate::store::UrStore;
 use crate::types::{ClassifiedUr, CollectedUr, CorrectDb, ProtectiveDb, UrCategory};
 use dnswire::RecordType;
 use simnet::{FaultPlan, SimDuration};
 use std::sync::Arc;
 use worldgen::{NsInfo, World};
+
+/// Batch-view size when draining the columnar [`UrStore`] into the
+/// classifier on the strict-batch path. Output is identical for any value;
+/// this only bounds how many URs are materialized at once.
+const STORE_CLASSIFY_BATCH: usize = 4096;
 
 /// Complete pipeline configuration.
 #[derive(Debug, Clone)]
@@ -324,9 +329,14 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     let blueprint = world.scan_blueprint();
     let scan_faults = world.net.faults();
     let (mut collected, mut classified, scan) = if cfg.stream_batch_size == 0 {
-        // Legacy strict-batch path: materialize every UR, then classify.
+        // Strict-batch path: accumulate every UR in the columnar store,
+        // then classify. The store keeps the scan output in
+        // struct-of-arrays form (4-byte interned domains and providers,
+        // one shared record arena) instead of a `Vec<CollectedUr>`; the
+        // classifier is fed materialized batch views in splice order, so
+        // the output is the same sequence `classify_all` would produce.
         let sp = obs.map(|h| h.span("collect", world.net.now().as_micros()));
-        let mut collected: Vec<CollectedUr> = Vec::new();
+        let mut store = UrStore::new();
         let scan = collect_urs_sharded(
             &blueprint,
             cfg.retry,
@@ -339,13 +349,7 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
             &mut scheduler,
             shards,
             usize::MAX,
-            &mut |batch| {
-                if collected.is_empty() {
-                    collected = batch;
-                } else {
-                    collected.extend(batch);
-                }
-            },
+            &mut |batch| store.extend(batch),
         );
         // The world clock advances by the shards' summed scan time and the
         // fabric inherits their traffic accounting, exactly as if the scan
@@ -356,16 +360,27 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
             s.finish(h, world.net.now().as_micros());
         }
         let sp = obs.map(|h| h.span("classify", world.net.now().as_micros()));
-        let cache = obs.map(|h| AttrCacheMetrics::register(h.registry()));
-        let classified = classify_all_observed(
-            &collected,
+        let mut streamer = StreamClassifier::new(
             &correct_db,
             &protective_db,
             &world.db,
             &world.pdns,
             &classify_cfg,
-            cache.as_ref(),
         );
+        if let Some(hub) = obs {
+            streamer = streamer.with_metrics(AttrCacheMetrics::register(hub.registry()));
+        }
+        // Raw retention snapshots the store before the batches consume it;
+        // the classified set embeds every record either way.
+        let collected = if cfg.keep_raw_collected {
+            store.to_vec()
+        } else {
+            Vec::new()
+        };
+        let mut classified = Vec::with_capacity(store.len());
+        for batch in store.into_batches(STORE_CLASSIFY_BATCH) {
+            classified.extend(streamer.classify_batch_owned(batch));
+        }
         if let Some(hub) = obs {
             // The whole output is one shard here; the streaming path below
             // shards per batch and merges in splice order — same sums, by
@@ -527,24 +542,168 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     }
 }
 
-/// Order-sensitive digest of a classified sequence: every UR's identity
-/// triple and final category feed the hash in order, so two runs (or the
-/// batch and streaming paths) agree iff they produced the same URs, in the
-/// same order, with the same categories.
-pub fn classified_sequence_hash(classified: &[ClassifiedUr]) -> u64 {
-    use std::hash::{Hash, Hasher};
+/// Incremental order-sensitive digest of a classified sequence: every UR's
+/// identity triple and final category feed the hash in absorb order, so two
+/// runs agree iff they produced the same URs, in the same order, with the
+/// same categories. The fold form lets the streamed paper-scale path digest
+/// millions of URs without retaining them;
+/// [`classified_sequence_hash`] is the slice convenience over it.
+#[derive(Debug, Default)]
+pub struct SequenceHasher {
     // DefaultHasher with fixed (default) keys: stable within a test binary,
     // which is all the equivalence assertions need.
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for c in classified {
-        c.ur.key.ns_ip.hash(&mut h);
-        c.ur.key.domain.hash(&mut h);
-        c.ur.key.rtype.code().hash(&mut h);
-        (c.category as u8).hash(&mut h);
-        c.correct_reason.map(|r| r as u8).hash(&mut h);
-        c.corresponding_ips.hash(&mut h);
+    h: std::collections::hash_map::DefaultHasher,
+}
+
+impl SequenceHasher {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        SequenceHasher::default()
     }
-    h.finish()
+
+    /// Fold one classified UR into the digest.
+    pub fn absorb(&mut self, c: &ClassifiedUr) {
+        use std::hash::Hash;
+        c.ur.key.ns_ip.hash(&mut self.h);
+        c.ur.key.domain.hash(&mut self.h);
+        c.ur.key.rtype.code().hash(&mut self.h);
+        (c.category as u8).hash(&mut self.h);
+        c.correct_reason.map(|r| r as u8).hash(&mut self.h);
+        c.corresponding_ips.hash(&mut self.h);
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        self.h.finish()
+    }
+}
+
+/// Order-sensitive digest of a classified sequence (see
+/// [`SequenceHasher`]): two runs (or the batch and streaming paths) agree
+/// iff they produced the same URs, in the same order, with the same
+/// categories.
+pub fn classified_sequence_hash(classified: &[ClassifiedUr]) -> u64 {
+    let mut h = SequenceHasher::new();
+    for c in classified {
+        h.absorb(c);
+    }
+    h.digest()
+}
+
+/// What a streamed paper-scale run produces: aggregate accounting only —
+/// classified URs are folded into counters and the sequence digest as they
+/// stream out of the scan, never retained.
+#[derive(Debug, Clone)]
+pub struct StreamRunOutput {
+    /// Selected nameservers scanned.
+    pub nameserver_count: usize,
+    /// Scan targets probed.
+    pub target_count: usize,
+    /// Total URs classified.
+    pub total_urs: u64,
+    /// URs explained by correct records.
+    pub correct: u64,
+    /// Provider protective answers.
+    pub protective: u64,
+    /// Suspicious but unconfirmed URs.
+    pub unknown: u64,
+    /// URs tied to confirmed-malicious addresses (the streamed path runs
+    /// no analysis stage, so this stays zero today).
+    pub malicious: u64,
+    /// Probe accounting across every shard engine.
+    pub coverage: CoverageReport,
+    /// Summed simulated scan time across shards.
+    pub elapsed: SimDuration,
+    /// Order-sensitive digest of the full classified sequence.
+    pub sequence_hash: u64,
+    /// How many world shards ran.
+    pub shards: usize,
+}
+
+/// Run the streamed paper-scale pipeline against a plan-backed world:
+/// sequential scoped scan shards ([`crate::collect::collect_urs_streamed`]),
+/// with every UR
+/// classified the moment its batch lands and immediately folded into the
+/// [`StreamRunOutput`] aggregates. Peak memory is one shard's zone tables
+/// plus one classification batch, independent of world size.
+///
+/// Deterministic in `(world, cfg, world_shards)` — the canonical order is
+/// shard-major, so `world_shards` is part of a run's identity (unlike the
+/// materialized pipeline, whose output is shard-count invariant).
+pub fn run_streamed(
+    world: &worldgen::StreamWorld,
+    cfg: &HunterConfig,
+    world_shards: usize,
+) -> StreamRunOutput {
+    let nameservers: Vec<NsInfo> = world
+        .nameservers
+        .iter()
+        .filter(|ns| ns.tail_hosted_sites >= cfg.collect.min_tail_sites)
+        .cloned()
+        .collect();
+    let targets = world.scan_targets();
+    let correct_db = crate::collect::correct_db_from_stream(world);
+    let protective_db = crate::collect::protective_db_from_stream(world);
+    let classify_cfg = cfg.classify_cfg(world.config.today);
+    let blueprint = world.scan_blueprint();
+    let mut streamer = StreamClassifier::new(
+        &correct_db,
+        &protective_db,
+        &world.db,
+        &world.pdns,
+        &classify_cfg,
+    );
+    if let Some(hub) = &cfg.obs {
+        streamer = streamer.with_metrics(AttrCacheMetrics::register(hub.registry()));
+    }
+    let mut seq = SequenceHasher::new();
+    let mut total = 0u64;
+    let mut by_category = [0u64; 4];
+    let batch = if cfg.stream_batch_size == 0 {
+        STORE_CLASSIFY_BATCH
+    } else {
+        cfg.stream_batch_size
+    };
+    let outcome = crate::collect::collect_urs_streamed(
+        &blueprint,
+        cfg.retry,
+        cfg.scan_faults.unwrap_or_default(),
+        cfg.obs.clone(),
+        &world.registry,
+        &nameservers,
+        &targets,
+        &cfg.collect,
+        cfg.scheduler_seed,
+        cfg.per_server_interval,
+        world_shards,
+        batch,
+        &mut |urs| {
+            for c in streamer.classify_batch_owned(urs) {
+                seq.absorb(&c);
+                total += 1;
+                by_category[match c.category {
+                    UrCategory::Malicious => 0,
+                    UrCategory::Correct => 1,
+                    UrCategory::Protective => 2,
+                    UrCategory::Unknown => 3,
+                }] += 1;
+            }
+        },
+    );
+    StreamRunOutput {
+        nameserver_count: nameservers.len(),
+        target_count: targets.len(),
+        total_urs: total,
+        malicious: by_category[0],
+        correct: by_category[1],
+        protective: by_category[2],
+        unknown: by_category[3],
+        coverage: outcome.coverage,
+        elapsed: outcome.elapsed,
+        sequence_hash: seq.digest(),
+        shards: outcome.shards,
+    }
 }
 
 /// §4.2's false-negative evaluation: feed the *delegated* records of every
@@ -692,6 +851,44 @@ mod tests {
             )
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn streamed_run_is_deterministic_and_covers_categories() {
+        let tiny = || {
+            let mut cfg = WorldConfig::xl();
+            cfg.top_domains = 50;
+            cfg.synthetic_providers = 8;
+            cfg.attack_campaigns = 200;
+            cfg.total_nameservers = Some(32);
+            cfg
+        };
+        let run_once = |shards: usize| {
+            let world = worldgen::StreamWorld::generate(tiny());
+            run_streamed(&world, &HunterConfig::fast(), shards)
+        };
+        let a = run_once(4);
+        let b = run_once(4);
+        assert_eq!(a.total_urs, b.total_urs);
+        assert_eq!(a.sequence_hash, b.sequence_hash);
+        assert_eq!(a.coverage.scheduled, b.coverage.scheduled);
+        assert!(a.total_urs > 0, "streamed scan found no URs");
+        assert!(a.correct > 0, "no correct URs (legit zones expected)");
+        assert!(a.protective > 0, "no protective URs");
+        assert!(a.unknown > 0, "no unknown URs (campaigns expected)");
+        assert_eq!(
+            a.total_urs,
+            a.correct + a.protective + a.unknown + a.malicious
+        );
+        assert_eq!(a.shards, 4);
+        // Shard-major order: a different world-shard count is a different
+        // (still deterministic) canonical order, same UR population.
+        let c = run_once(2);
+        assert_eq!(c.total_urs, a.total_urs);
+        assert_eq!(
+            (c.correct, c.protective, c.unknown),
+            (a.correct, a.protective, a.unknown)
+        );
     }
 
     #[test]

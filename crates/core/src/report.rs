@@ -4,6 +4,7 @@ use crate::analyze::Analysis;
 use crate::types::{ClassifiedUr, MaliciousEvidence, UrCategory};
 use dnswire::RecordType;
 use intel::{AlertCategory, IntelAggregator, ThreatTag};
+use intern::{InternedName, Sym};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
@@ -39,7 +40,7 @@ pub struct Table1Row {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProviderRow {
     /// Provider name.
-    pub provider: String,
+    pub provider: Sym,
     /// Total URs collected from its nameservers.
     pub total: usize,
     /// Correct URs.
@@ -128,12 +129,12 @@ pub fn build_report(
 /// Distinct-entity accumulator behind one Table 1 row.
 #[derive(Debug, Default)]
 struct Table1Acc {
-    domains: HashSet<dnswire::Name>,
-    domains_mal: HashSet<dnswire::Name>,
+    domains: HashSet<InternedName>,
+    domains_mal: HashSet<InternedName>,
     nameservers: HashSet<Ipv4Addr>,
     nameservers_mal: HashSet<Ipv4Addr>,
-    providers: HashSet<String>,
-    providers_mal: HashSet<String>,
+    providers: HashSet<Sym>,
+    providers_mal: HashSet<Sym>,
     urs: usize,
     urs_mal: usize,
     ips: HashSet<Ipv4Addr>,
@@ -145,15 +146,15 @@ impl Table1Acc {
     fn absorb(&mut self, c: &ClassifiedUr) {
         let malicious = c.category == UrCategory::Malicious;
         self.urs += 1;
-        self.domains.insert(c.ur.key.domain.clone());
+        self.domains.insert(c.ur.key.domain);
         self.nameservers.insert(c.ur.key.ns_ip);
-        self.providers.insert(c.ur.provider.clone());
+        self.providers.insert(c.ur.provider);
         self.ips.extend(c.corresponding_ips.iter().copied());
         if malicious {
             self.urs_mal += 1;
-            self.domains_mal.insert(c.ur.key.domain.clone());
+            self.domains_mal.insert(c.ur.key.domain);
             self.nameservers_mal.insert(c.ur.key.ns_ip);
-            self.providers_mal.insert(c.ur.provider.clone());
+            self.providers_mal.insert(c.ur.provider);
             self.ips_mal.extend(c.corresponding_ips.iter().copied());
         }
     }
@@ -187,7 +188,7 @@ impl Table1Acc {
 #[derive(Debug, Default)]
 pub struct ReportBuilder {
     totals: Totals,
-    by_provider: BTreeMap<String, ProviderRow>,
+    by_provider: BTreeMap<Sym, ProviderRow>,
     acc_a: Table1Acc,
     acc_txt: Table1Acc,
     acc_mx: Table1Acc,
@@ -222,9 +223,9 @@ impl ReportBuilder {
 
         let row = self
             .by_provider
-            .entry(c.ur.provider.clone())
+            .entry(c.ur.provider)
             .or_insert_with(|| ProviderRow {
-                provider: c.ur.provider.clone(),
+                provider: c.ur.provider,
                 total: 0,
                 correct: 0,
                 protective: 0,
@@ -548,6 +549,8 @@ mod tests {
     use intel::{ThreatTag, VendorFeed};
     use std::collections::HashSet as StdHashSet;
 
+    use intern::InternedName;
+
     fn n(s: &str) -> Name {
         s.parse().unwrap()
     }
@@ -568,7 +571,7 @@ mod tests {
             ur: CollectedUr {
                 key: UrKey {
                     ns_ip: ns.parse().unwrap(),
-                    domain: n(domain),
+                    domain: InternedName::intern(&n(domain)),
                     rtype,
                 },
                 records: vec![Record::new(n(domain), 60, RData::A(ip("1.1.1.1")))],

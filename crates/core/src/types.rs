@@ -1,6 +1,15 @@
 //! Shared data model of the measurement pipeline.
+//!
+//! Paper-scale worlds carry millions of URs, so the hot structs hold
+//! compact interned handles instead of owned allocations: domains are
+//! [`InternedName`]s (4-byte ids into the global name table) and provider
+//! names / profile strings are [`Sym`]s. Both hash, order, and display by
+//! their text — never by id — so every pinned output digest is unchanged
+//! from the owned-representation era.
 
 use dnswire::{Name, Record, RecordType};
+use intern::{InternedName, Sym};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -8,18 +17,18 @@ use std::net::Ipv4Addr;
 /// nameserver (IP address) for an undelegated domain" — identity is the
 /// `(nameserver, domain, type)` triple, because blocking one server does
 /// not stop resolution of the same data at another.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct UrKey {
     /// The nameserver that served the record.
     pub ns_ip: Ipv4Addr,
     /// The undelegated domain queried.
-    pub domain: Name,
+    pub domain: InternedName,
     /// The record type.
     pub rtype: RecordType,
 }
 
 /// One collected undelegated record (an RRset, per the unique-UR identity).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectedUr {
     /// Identity triple.
     pub key: UrKey,
@@ -30,7 +39,7 @@ pub struct CollectedUr {
     /// (the MX extension of §6's future work).
     pub aux_records: Vec<Record>,
     /// Provider operating the nameserver (from the NS inventory).
-    pub provider: String,
+    pub provider: Sym,
     /// AA flag of the response (authoritative data).
     pub authoritative: bool,
     /// RA flag of the response (the server offered recursion — the
@@ -44,12 +53,20 @@ impl CollectedUr {
         self.records.iter().filter_map(|r| r.rdata.as_a()).collect()
     }
 
-    /// The joined text of TXT records, one string per record.
-    pub fn txt_strings(&self) -> Vec<String> {
+    /// The text of each TXT record, borrowing from the record data where
+    /// possible (single-chunk UTF-8 TXT — the common case — copies
+    /// nothing).
+    pub fn txt_strs(&self) -> Vec<Cow<'_, str>> {
         self.records
             .iter()
-            .filter_map(|r| r.rdata.txt_joined())
+            .filter_map(|r| r.rdata.txt_str())
             .collect()
+    }
+
+    /// The joined text of TXT records, one owned string per record.
+    /// Prefer [`CollectedUr::txt_strs`] on hot paths.
+    pub fn txt_strings(&self) -> Vec<String> {
+        self.txt_strs().into_iter().map(Cow::into_owned).collect()
     }
 }
 
@@ -66,23 +83,28 @@ pub struct DomainProfile {
     /// Certificate fingerprints served at correct addresses.
     pub certs: HashSet<u64>,
     /// Correct TXT strings (exact-match exclusion for TXT URs).
-    pub txts: HashSet<String>,
+    pub txts: HashSet<Sym>,
     /// Correct MX data, rendered (`"pref exchange"`), for exact-match
     /// exclusion of MX URs.
-    pub mxs: HashSet<String>,
+    pub mxs: HashSet<Sym>,
 }
 
 /// Correct-record database over all target domains.
 #[derive(Debug, Default)]
 pub struct CorrectDb {
     /// Per-domain profiles.
-    pub domains: HashMap<Name, DomainProfile>,
+    pub domains: HashMap<InternedName, DomainProfile>,
 }
 
 impl CorrectDb {
     /// Profile for one domain (empty profile if never collected).
-    pub fn profile(&self, domain: &Name) -> DomainProfile {
+    pub fn profile(&self, domain: &InternedName) -> DomainProfile {
         self.domains.get(domain).cloned().unwrap_or_default()
+    }
+
+    /// Profile lookup by owned [`Name`] (interns the name first).
+    pub fn profile_of_name(&self, domain: &Name) -> DomainProfile {
+        self.profile(&InternedName::intern(domain))
     }
 }
 
@@ -93,7 +115,7 @@ pub struct ProtectiveProfile {
     /// Addresses protective A records point at.
     pub a_ips: HashSet<Ipv4Addr>,
     /// Protective TXT payloads.
-    pub txts: HashSet<String>,
+    pub txts: HashSet<Sym>,
 }
 
 /// Protective-record database keyed by nameserver address.
@@ -115,13 +137,16 @@ impl ProtectiveDb {
                 !ips.is_empty() && ips.iter().all(|ip| p.a_ips.contains(ip))
             }
             RecordType::Txt => {
-                let txts = ur.txt_strings();
+                let txts = ur.txt_strs();
                 // Protective TXT bodies embed the queried name/provider, so
                 // match on the stable prefix rather than full equality.
+                // `Sym::lookup` probes the set without interning scan data.
                 !txts.is_empty()
                     && txts.iter().all(|t| {
-                        p.txts.contains(t)
-                            || p.txts.iter().any(|known| common_prefix_len(known, t) >= 12)
+                        Sym::lookup(t).is_some_and(|s| p.txts.contains(&s))
+                            || p.txts
+                                .iter()
+                                .any(|known| common_prefix_len(known.as_str(), t) >= 12)
                     })
             }
             _ => false,
@@ -257,7 +282,7 @@ mod tests {
         CollectedUr {
             key: UrKey {
                 ns_ip: Ipv4Addr::new(20, 0, 0, 1),
-                domain: n("x.com"),
+                domain: InternedName::intern(&n("x.com")),
                 rtype,
             },
             records,
@@ -376,7 +401,7 @@ mod tests {
     #[test]
     fn correct_db_default_profile_is_empty() {
         let db = CorrectDb::default();
-        let p = db.profile(&n("nothing.com"));
+        let p = db.profile_of_name(&n("nothing.com"));
         assert!(p.ips.is_empty() && p.txts.is_empty());
     }
 }

@@ -42,7 +42,7 @@ mod types;
 
 pub use error::{WireError, WireResult};
 pub use message::{Flags, Message, MAX_MESSAGE_LEN, MAX_UDP_PAYLOAD};
-pub use name::{Name, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use name::{CompressionMap, Name, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use rdata::RData;
 pub use record::{Question, Record};
 pub use types::{Class, Opcode, Rcode, RecordType};

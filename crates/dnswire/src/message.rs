@@ -1,10 +1,9 @@
 //! Full DNS messages: header flags, sections, encode/decode.
 
 use crate::error::{WireError, WireResult};
-use crate::name::Name;
+use crate::name::{CompressionMap, Name};
 use crate::record::{Question, Record};
 use crate::types::{Opcode, Rcode, RecordType};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Default maximum size for a UDP DNS payload without EDNS.
@@ -193,7 +192,7 @@ impl Message {
         buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
         buf.extend_from_slice(&(self.authorities.len() as u16).to_be_bytes());
         buf.extend_from_slice(&(self.additionals.len() as u16).to_be_bytes());
-        let mut offsets: HashMap<String, u16> = HashMap::new();
+        let mut offsets = CompressionMap::new();
         for q in &self.questions {
             q.encode(&mut buf, &mut offsets);
         }

@@ -146,27 +146,41 @@ impl Name {
 
     /// Encode with DNS name compression.
     ///
-    /// `offsets` maps a canonical (lowercased) textual representation of each
-    /// name suffix to the message offset where it was first written; suffixes
-    /// found in the map are replaced with a 2-byte pointer, and newly written
-    /// suffixes at pointable offsets (< 0x3FFF) are inserted.
-    pub fn encode_compressed(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>) {
-        for i in 0..self.labels.len() {
-            let suffix_key = canonical_suffix_key(&self.labels[i..]);
-            if let Some(&off) = offsets.get(&suffix_key) {
-                buf.push(0xC0 | ((off >> 8) as u8));
-                buf.push((off & 0xFF) as u8);
-                return;
-            }
+    /// Every suffix of the name is registered in `map` (a per-message
+    /// suffix trie); the longest suffix already written at a pointable
+    /// offset is replaced with a 2-byte pointer, and newly written labels
+    /// at offsets ≤ 0x3FFF become pointer targets for later names.
+    /// Matching is case-insensitive (RFC 1035 §2.3.3).
+    pub fn encode_compressed(&self, buf: &mut Vec<u8>, map: &mut CompressionMap) {
+        let n = self.labels.len();
+        // Node ids for every suffix, built right-to-left so each node's
+        // parent already exists. A name has at most 127 labels
+        // (MAX_NAME_LEN), so the chain lives on the stack.
+        let mut chain = [CompressionMap::ROOT; (MAX_NAME_LEN - 1) / 2];
+        let mut parent = CompressionMap::ROOT;
+        for i in (0..n).rev() {
+            let node = map.node(parent, &self.labels[i]);
+            chain[i] = node;
+            parent = node;
+        }
+        // The longest suffix already written at a pointable offset.
+        let pointer = (0..n).find_map(|i| map.offset(chain[i]).map(|off| (i, off)));
+        let literal_upto = pointer.map_or(n, |(i, _)| i);
+        for (node, l) in chain.iter().zip(&self.labels).take(literal_upto) {
             let here = buf.len();
             if here <= 0x3FFF {
-                offsets.insert(suffix_key, here as u16);
+                map.record_offset(*node, here as u16);
             }
-            let l = &self.labels[i];
             buf.push(l.len() as u8);
             buf.extend_from_slice(l);
         }
-        buf.push(0);
+        match pointer {
+            Some((_, off)) => {
+                buf.push(0xC0 | ((off >> 8) as u8));
+                buf.push((off & 0xFF) as u8);
+            }
+            None => buf.push(0),
+        }
     }
 
     /// Decode a (possibly compressed) name from `msg` starting at `*pos`.
@@ -239,15 +253,104 @@ fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
     a.eq_ignore_ascii_case(b)
 }
 
-fn canonical_suffix_key(labels: &[Box<[u8]>]) -> String {
-    let mut key = String::new();
-    for l in labels {
-        for &b in l.iter() {
-            key.push(b.to_ascii_lowercase() as char);
-        }
-        key.push('.');
+/// Per-message DNS name-compression state.
+///
+/// The previous implementation keyed compression offsets by a freshly
+/// formatted lowercase `String` per suffix per name — an allocation on
+/// every label of every name on the encode hot path. This map stores the
+/// suffixes structurally instead: a trie of `(parent node, label)` edges
+/// whose label bytes live in one shared arena, indexed by a hash of the
+/// parent id and the lowercased label bytes. Lookups hash in place and
+/// verify with a case-insensitive byte compare, so encoding allocates
+/// nothing per name once the arena has warmed up.
+#[derive(Debug, Default)]
+pub struct CompressionMap {
+    nodes: Vec<CompressNode>,
+    /// Lowercased label bytes of every node, back to back.
+    arena: Vec<u8>,
+    /// Hash of `(parent, lowercased label)` → candidate node ids.
+    index: HashMap<u64, Vec<u32>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompressNode {
+    parent: u32,
+    label_start: u32,
+    label_len: u8,
+    /// Message offset of this suffix, or [`CompressionMap::NO_OFFSET`] when
+    /// the suffix was written beyond the pointable range (or not yet).
+    offset: u16,
+}
+
+impl CompressionMap {
+    /// Sentinel parent id of top-level labels (the root has no node).
+    const ROOT: u32 = u32::MAX;
+    /// Sentinel for "no recorded offset" (real offsets are ≤ 0x3FFF).
+    const NO_OFFSET: u16 = u16::MAX;
+
+    /// An empty map, for one message.
+    pub fn new() -> Self {
+        CompressionMap::default()
     }
-    key
+
+    fn hash_edge(parent: u32, label: &[u8]) -> u64 {
+        // FNV-1a over the parent id and the lowercased label bytes.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in parent.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in label {
+            h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn node_label(&self, id: u32) -> &[u8] {
+        let n = &self.nodes[id as usize];
+        &self.arena[n.label_start as usize..n.label_start as usize + n.label_len as usize]
+    }
+
+    /// The node for the suffix `label.<parent's suffix>`, created on first
+    /// sight (without an offset).
+    fn node(&mut self, parent: u32, label: &[u8]) -> u32 {
+        let h = Self::hash_edge(parent, label);
+        if let Some(candidates) = self.index.get(&h) {
+            for &id in candidates {
+                if self.nodes[id as usize].parent == parent
+                    && self.node_label(id).eq_ignore_ascii_case(label)
+                {
+                    return id;
+                }
+            }
+        }
+        let label_start = self.arena.len() as u32;
+        self.arena
+            .extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        let id = self.nodes.len() as u32;
+        self.nodes.push(CompressNode {
+            parent,
+            label_start,
+            label_len: label.len() as u8,
+            offset: Self::NO_OFFSET,
+        });
+        self.index.entry(h).or_default().push(id);
+        id
+    }
+
+    /// The recorded message offset of this suffix, if pointable.
+    fn offset(&self, id: u32) -> Option<u16> {
+        let off = self.nodes[id as usize].offset;
+        (off != Self::NO_OFFSET).then_some(off)
+    }
+
+    /// Record where this suffix was first written (first write wins, as
+    /// RFC 1035 pointers must point strictly backwards).
+    fn record_offset(&mut self, id: u32, offset: u16) {
+        let n = &mut self.nodes[id as usize];
+        if n.offset == Self::NO_OFFSET {
+            n.offset = offset;
+        }
+    }
 }
 
 impl PartialEq for Name {
@@ -452,7 +555,7 @@ mod tests {
     #[test]
     fn compression_shares_suffixes() {
         let mut buf = Vec::new();
-        let mut offsets = HashMap::new();
+        let mut offsets = CompressionMap::new();
         n("www.example.com").encode_compressed(&mut buf, &mut offsets);
         let len_first = buf.len();
         n("mail.example.com").encode_compressed(&mut buf, &mut offsets);
@@ -468,7 +571,7 @@ mod tests {
     #[test]
     fn compression_is_case_insensitive() {
         let mut buf = Vec::new();
-        let mut offsets = HashMap::new();
+        let mut offsets = CompressionMap::new();
         n("EXAMPLE.COM").encode_compressed(&mut buf, &mut offsets);
         let first = buf.len();
         n("www.example.com").encode_compressed(&mut buf, &mut offsets);

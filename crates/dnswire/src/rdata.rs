@@ -1,9 +1,8 @@
 //! Typed RDATA representations with wire encode/decode.
 
 use crate::error::{WireError, WireResult};
-use crate::name::Name;
+use crate::name::{CompressionMap, Name};
 use crate::types::RecordType;
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -91,11 +90,24 @@ impl RData {
     /// Reassemble a TXT record's character strings into one `String`,
     /// replacing non-UTF8 bytes. Returns `None` for non-TXT data.
     pub fn txt_joined(&self) -> Option<String> {
+        self.txt_str().map(|s| s.into_owned())
+    }
+
+    /// Borrowing variant of [`RData::txt_joined`]: a single-chunk UTF-8
+    /// TXT (the overwhelmingly common shape — one character string per
+    /// record, ≤ 255 octets) borrows straight from the record data. Only
+    /// multi-chunk or non-UTF8 payloads allocate.
+    pub fn txt_str(&self) -> Option<std::borrow::Cow<'_, str>> {
         match self {
-            RData::Txt(chunks) => {
-                let all: Vec<u8> = chunks.iter().flatten().copied().collect();
-                Some(String::from_utf8_lossy(&all).into_owned())
-            }
+            RData::Txt(chunks) => match chunks.as_slice() {
+                [one] => Some(String::from_utf8_lossy(one)),
+                many => {
+                    let all: Vec<u8> = many.iter().flatten().copied().collect();
+                    Some(std::borrow::Cow::Owned(
+                        String::from_utf8_lossy(&all).into_owned(),
+                    ))
+                }
+            },
             _ => None,
         }
     }
@@ -112,7 +124,7 @@ impl RData {
     ///
     /// Names inside RDATA that RFC 1035 allows to be compressed (NS, CNAME,
     /// PTR, MX, SOA) participate in message compression via `offsets`.
-    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>) {
+    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut CompressionMap) {
         match self {
             RData::A(ip) => buf.extend_from_slice(&ip.octets()),
             RData::Aaaa(ip) => buf.extend_from_slice(&ip.octets()),
@@ -339,7 +351,7 @@ mod tests {
 
     fn roundtrip(rd: &RData) -> RData {
         let mut buf = Vec::new();
-        let mut offsets = HashMap::new();
+        let mut offsets = CompressionMap::new();
         rd.encode(&mut buf, &mut offsets);
         let mut pos = 0;
         let back = RData::decode(&buf, &mut pos, rd.record_type(), buf.len()).unwrap();

@@ -1,10 +1,9 @@
 //! Resource records and questions.
 
 use crate::error::{WireError, WireResult};
-use crate::name::Name;
+use crate::name::{CompressionMap, Name};
 use crate::rdata::RData;
 use crate::types::{Class, RecordType};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A question section entry.
@@ -29,7 +28,7 @@ impl Question {
     }
 
     /// Encode into `buf` using the shared compression map.
-    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>) {
+    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut CompressionMap) {
         self.qname.encode_compressed(buf, offsets);
         buf.extend_from_slice(&self.qtype.code().to_be_bytes());
         buf.extend_from_slice(&self.qclass.code().to_be_bytes());
@@ -93,7 +92,7 @@ impl Record {
     /// Encode into `buf` using the shared compression map. The RDLENGTH
     /// field is computed from the bytes actually written (which may be
     /// shortened by compression of embedded names).
-    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, u16>) {
+    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut CompressionMap) {
         self.name.encode_compressed(buf, offsets);
         buf.extend_from_slice(&self.rtype().code().to_be_bytes());
         buf.extend_from_slice(&self.class.code().to_be_bytes());
@@ -157,7 +156,7 @@ mod tests {
     fn question_roundtrip() {
         let q = Question::new(name("example.com"), RecordType::Txt);
         let mut buf = Vec::new();
-        q.encode(&mut buf, &mut HashMap::new());
+        q.encode(&mut buf, &mut CompressionMap::new());
         let mut pos = 0;
         assert_eq!(Question::decode(&buf, &mut pos).unwrap(), q);
         assert_eq!(pos, buf.len());
@@ -171,7 +170,7 @@ mod tests {
             RData::A(Ipv4Addr::new(203, 0, 113, 9)),
         );
         let mut buf = Vec::new();
-        r.encode(&mut buf, &mut HashMap::new());
+        r.encode(&mut buf, &mut CompressionMap::new());
         let mut pos = 0;
         assert_eq!(Record::decode(&buf, &mut pos).unwrap(), r);
         assert_eq!(pos, buf.len());
@@ -187,7 +186,7 @@ mod tests {
             RData::Ns(name("ns1.example.com")),
         );
         let mut buf = Vec::new();
-        let mut offsets = HashMap::new();
+        let mut offsets = CompressionMap::new();
         r.encode(&mut buf, &mut offsets);
         let mut pos = 0;
         let back = Record::decode(&buf, &mut pos).unwrap();
@@ -201,7 +200,7 @@ mod tests {
     fn truncated_record_rejected() {
         let r = Record::new(name("x.y"), 60, RData::txt_from_str("hello"));
         let mut buf = Vec::new();
-        r.encode(&mut buf, &mut HashMap::new());
+        r.encode(&mut buf, &mut CompressionMap::new());
         for cut in 1..buf.len() {
             let mut pos = 0;
             assert!(

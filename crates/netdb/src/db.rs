@@ -60,8 +60,10 @@ impl fmt::Display for GeoInfo {
 pub struct CertInfo {
     /// Subject common name.
     pub subject: String,
-    /// Issuing CA.
-    pub issuer: String,
+    /// Issuing CA, interned: the world has a handful of CAs shared by
+    /// every certificate, so each cert carries a 4-byte symbol instead of
+    /// its own heap copy of the CA name.
+    pub issuer: intern::Sym,
     /// Subject alternative names.
     pub sans: Vec<String>,
     /// Stable fingerprint for equality grouping.
@@ -79,7 +81,7 @@ impl CertInfo {
         }
         CertInfo {
             subject: domain.to_string(),
-            issuer: issuer.to_string(),
+            issuer: intern::Sym::intern(issuer),
             sans: vec![domain.to_string(), format!("*.{domain}")],
             fingerprint: fp,
         }
@@ -441,7 +443,7 @@ mod tests {
         // explicit apex SAN; a bare wildcard must not.
         let wildcard_only = CertInfo {
             subject: "*.example.com".into(),
-            issuer: "SimCA".into(),
+            issuer: intern::Sym::intern("SimCA"),
             sans: vec!["*.example.com".into()],
             fingerprint: 1,
         };

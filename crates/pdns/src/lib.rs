@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 use dnswire::{Name, RData, RecordType};
+use intern::InternedName;
 use std::collections::HashMap;
 
 /// A day index (days since an arbitrary epoch). The world generator decides
@@ -43,7 +44,7 @@ pub struct HistoricalRecord {
 /// The passive-DNS store.
 #[derive(Debug, Default)]
 pub struct PassiveDns {
-    by_domain: HashMap<Name, Vec<HistoricalRecord>>,
+    by_domain: HashMap<InternedName, Vec<HistoricalRecord>>,
     total: usize,
 }
 
@@ -69,7 +70,7 @@ impl PassiveDns {
         assert!(first_seen <= last_seen, "inverted observation interval");
         self.total += 1;
         self.by_domain
-            .entry(domain.clone())
+            .entry(InternedName::intern(&domain))
             .or_default()
             .push(HistoricalRecord {
                 domain,
@@ -82,7 +83,12 @@ impl PassiveDns {
 
     /// All observations for `domain` whose lifetime intersects
     /// `[today - window, today]`.
-    pub fn history(&self, domain: &Name, today: Day, window: u32) -> Vec<&HistoricalRecord> {
+    pub fn history(
+        &self,
+        domain: &InternedName,
+        today: Day,
+        window: u32,
+    ) -> Vec<&HistoricalRecord> {
         let horizon = today.saturating_sub(window);
         self.by_domain
             .get(domain)
@@ -98,7 +104,7 @@ impl PassiveDns {
     /// (of the same type) within the window?
     pub fn contains(
         &self,
-        domain: &Name,
+        domain: &InternedName,
         rtype: RecordType,
         rdata: &RData,
         today: Day,
@@ -129,16 +135,17 @@ impl PassiveDns {
     /// subdomains from PDNS data and measure whether they appear in URs."
     pub fn subdomains_of(&self, apex: &Name, today: Day, window: u32) -> Vec<Name> {
         let horizon = today.saturating_sub(window);
+        let apex = InternedName::intern(apex);
         let mut out: Vec<Name> = self
             .by_domain
             .iter()
             .filter(|(name, recs)| {
-                name.is_strict_subdomain_of(apex)
+                name.is_strict_subdomain_of(&apex)
                     && recs
                         .iter()
                         .any(|r| r.last_seen >= horizon && r.first_seen <= today)
             })
-            .map(|(name, _)| name.clone())
+            .map(|(name, _)| name.to_name())
             .collect();
         out.sort();
         out
@@ -154,6 +161,10 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn i(s: &str) -> InternedName {
+        s.parse().unwrap()
+    }
+
     fn a(ip: [u8; 4]) -> RData {
         RData::A(Ipv4Addr::from(ip))
     }
@@ -163,21 +174,21 @@ mod tests {
         let mut p = PassiveDns::new();
         p.observe(n("example.com"), RecordType::A, a([1, 2, 3, 4]), 100, 500);
         assert!(p.contains(
-            &n("example.com"),
+            &i("example.com"),
             RecordType::A,
             &a([1, 2, 3, 4]),
             600,
             SIX_YEARS_DAYS
         ));
         assert!(!p.contains(
-            &n("example.com"),
+            &i("example.com"),
             RecordType::A,
             &a([9, 9, 9, 9]),
             600,
             SIX_YEARS_DAYS
         ));
         assert!(!p.contains(
-            &n("other.com"),
+            &i("other.com"),
             RecordType::A,
             &a([1, 2, 3, 4]),
             600,
@@ -191,14 +202,14 @@ mod tests {
         p.observe(n("old.com"), RecordType::A, a([1, 1, 1, 1]), 0, 10);
         // today = 3000, window = 2190 -> horizon = 810; record died at day 10
         assert!(!p.contains(
-            &n("old.com"),
+            &i("old.com"),
             RecordType::A,
             &a([1, 1, 1, 1]),
             3000,
             SIX_YEARS_DAYS
         ));
         // shorter lookback from an earlier "today" still sees it
-        assert!(p.contains(&n("old.com"), RecordType::A, &a([1, 1, 1, 1]), 100, 2000));
+        assert!(p.contains(&i("old.com"), RecordType::A, &a([1, 1, 1, 1]), 100, 2000));
     }
 
     #[test]
@@ -206,7 +217,7 @@ mod tests {
         let mut p = PassiveDns::new();
         p.observe(n("new.com"), RecordType::A, a([2, 2, 2, 2]), 500, 600);
         assert!(!p.contains(
-            &n("new.com"),
+            &i("new.com"),
             RecordType::A,
             &a([2, 2, 2, 2]),
             400,
@@ -219,7 +230,7 @@ mod tests {
         let mut p = PassiveDns::new();
         p.observe(n("x.com"), RecordType::A, a([3, 3, 3, 3]), 100, 200);
         assert!(!p.contains(
-            &n("x.com"),
+            &i("x.com"),
             RecordType::Txt,
             &a([3, 3, 3, 3]),
             200,
@@ -239,7 +250,7 @@ mod tests {
             250,
             400,
         );
-        let h = p.history(&n("d.com"), 300, 150);
+        let h = p.history(&i("d.com"), 300, 150);
         assert_eq!(h.len(), 2);
         assert_eq!(p.len(), 3);
         assert_eq!(p.domain_count(), 1);

@@ -1,6 +1,7 @@
 //! Property tests for the passive-DNS store's window arithmetic.
 
 use dnswire::{Name, RData, RecordType};
+use intern::InternedName;
 use pdns::PassiveDns;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -22,7 +23,8 @@ proptest! {
         p.observe(d.clone(), RecordType::A, rdata.clone(), first, last);
         let horizon = today.saturating_sub(window);
         let expected = last >= horizon && first <= today;
-        prop_assert_eq!(p.contains(&d, RecordType::A, &rdata, today, window), expected);
+        let di = InternedName::intern(&d);
+        prop_assert_eq!(p.contains(&di, RecordType::A, &rdata, today, window), expected);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct WorldConfig {
     pub provider_hosted_fraction: f64,
     /// "Today" on the passive-DNS day axis.
     pub today: Day,
+    /// Exact nameserver-inventory size for stream-generated worlds
+    /// ([`crate::StreamWorld`]): the synthetic fleets are sized so the
+    /// named + synthetic total lands exactly here. `None` (every eager
+    /// preset) derives fleet sizes from `ns_per_synthetic` instead.
+    pub total_nameservers: Option<usize>,
 }
 
 impl WorldConfig {
@@ -71,6 +76,7 @@ impl WorldConfig {
             misconfigured_recursive_ns: 2,
             provider_hosted_fraction: 0.7,
             today: 2_500,
+            total_nameservers: None,
         }
     }
 
@@ -95,6 +101,7 @@ impl WorldConfig {
             misconfigured_recursive_ns: 6,
             provider_hosted_fraction: 0.72,
             today: 2_500,
+            total_nameservers: None,
         }
     }
 
@@ -121,6 +128,63 @@ impl WorldConfig {
             misconfigured_recursive_ns: 3,
             provider_hosted_fraction: 0.71,
             today: 2_500,
+            total_nameservers: None,
+        }
+    }
+
+    /// The paper's measurement scale, for the streaming generator
+    /// ([`crate::StreamWorld`]): 8,941 selected nameservers across 400+
+    /// providers, scanning the top-2K domains of a top-1M ranking (tail
+    /// hosted-site counts are drawn against that depth). Zones and
+    /// accounts are generated lazily per scan shard — [`crate::World`]
+    /// never materializes this preset.
+    pub fn paper() -> Self {
+        WorldConfig {
+            seed: 0x1A2C_2023,
+            top_domains: 2_000,
+            synthetic_providers: 390,
+            ns_per_synthetic: (2, 44),
+            open_resolvers: 0,
+            unstable_resolver_fraction: 0.0,
+            manipulated_resolver_fraction: 0.0,
+            attack_campaigns: 40_000,
+            malicious_campaign_fraction: 0.2541,
+            label_only_fraction: 0.342,
+            ids_only_fraction: 0.366,
+            benign_misconfig_urs: 0,
+            past_delegation_urs: 0,
+            parked_urs: 0,
+            misconfigured_recursive_ns: 0,
+            provider_hosted_fraction: 0.72,
+            today: 2_500,
+            total_nameservers: Some(8_941),
+        }
+    }
+
+    /// The memory-stress scale: a nameserver fleet and campaign density
+    /// tuned so a full collect + classify pass crosses one million URs.
+    /// Only runnable through the streaming generator / fold pipeline,
+    /// where peak RSS stays bounded by one world shard plus one batch.
+    pub fn xl() -> Self {
+        WorldConfig {
+            seed: 0x5852_2023,
+            top_domains: 1_500,
+            synthetic_providers: 120,
+            ns_per_synthetic: (2, 16),
+            open_resolvers: 0,
+            unstable_resolver_fraction: 0.0,
+            manipulated_resolver_fraction: 0.0,
+            attack_campaigns: 60_000,
+            malicious_campaign_fraction: 0.2541,
+            label_only_fraction: 0.342,
+            ids_only_fraction: 0.366,
+            benign_misconfig_urs: 0,
+            past_delegation_urs: 0,
+            parked_urs: 0,
+            misconfigured_recursive_ns: 0,
+            provider_hosted_fraction: 0.72,
+            today: 2_500,
+            total_nameservers: Some(1_100),
         }
     }
 
@@ -141,6 +205,8 @@ mod tests {
             WorldConfig::small(),
             WorldConfig::medium(),
             WorldConfig::default_scale(),
+            WorldConfig::paper(),
+            WorldConfig::xl(),
         ] {
             assert!(cfg.top_domains >= 10);
             assert!(cfg.ns_per_synthetic.0 <= cfg.ns_per_synthetic.1);

@@ -26,6 +26,7 @@ mod attacker;
 mod config;
 mod providers;
 mod psl;
+mod stream;
 mod tranco;
 mod world;
 
@@ -33,5 +34,6 @@ pub use attacker::{sample_tags, sample_vendor_count, shuffle, DetectionClass, Pl
 pub use config::WorldConfig;
 pub use providers::{named_providers, synthetic_providers, ProviderSpec};
 pub use psl::PublicSuffixList;
+pub use stream::{LegitSite, StreamWorld};
 pub use tranco::{TrancoList, CASE_STUDY_DOMAINS};
 pub use world::{GroundTruth, NsInfo, OpenResolverInfo, ProviderMeta, ScanBlueprint, World};

@@ -245,9 +245,11 @@ impl World {
         ScanBlueprint {
             fabric_seed: self.config.seed ^ 0x4E45,
             latency: self.net.latency(),
-            providers,
-            answers,
-            nodes,
+            backing: BlueprintBacking::Eager {
+                providers,
+                answers,
+                nodes,
+            },
         }
     }
 }
@@ -263,9 +265,19 @@ impl World {
 pub struct ScanBlueprint {
     fabric_seed: u64,
     latency: LatencyModel,
-    providers: Vec<Arc<HostingProvider>>,
-    answers: Arc<AnswerMap>,
-    nodes: Vec<(Ipv4Addr, ScanNodeSpec)>,
+    backing: BlueprintBacking,
+}
+
+/// Where a blueprint's node state comes from: an eager snapshot of a built
+/// [`World`], or the compact generation plan of a [`crate::StreamWorld`]
+/// from which zones are materialized on demand.
+enum BlueprintBacking {
+    Eager {
+        providers: Vec<Arc<HostingProvider>>,
+        answers: Arc<AnswerMap>,
+        nodes: Vec<(Ipv4Addr, ScanNodeSpec)>,
+    },
+    Lazy(Arc<crate::stream::StreamPlan>),
 }
 
 enum ScanNodeSpec {
@@ -274,7 +286,31 @@ enum ScanNodeSpec {
 }
 
 impl ScanBlueprint {
-    /// Build shard `shard`'s replica fabric.
+    /// A blueprint backed by a streaming generation plan: nodes and zones
+    /// are built on demand in [`ScanBlueprint::build_network_scoped`].
+    pub(crate) fn lazy(
+        fabric_seed: u64,
+        latency: LatencyModel,
+        plan: Arc<crate::stream::StreamPlan>,
+    ) -> Self {
+        ScanBlueprint {
+            fabric_seed,
+            latency,
+            backing: BlueprintBacking::Lazy(plan),
+        }
+    }
+
+    /// An empty replica fabric with the blueprint's seed and latency model.
+    fn empty_replica(&self, shard: u64) -> Network {
+        let rng_seed = self.fabric_seed ^ shard.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut net = Network::new(self.fabric_seed)
+            .with_latency(self.latency)
+            .with_rng_seed(rng_seed);
+        net.trace.set_enabled(false);
+        net
+    }
+
+    /// Build shard `shard`'s replica fabric with every nameserver node.
     ///
     /// The replica keeps the world's fabric seed — and therefore its
     /// per-flow fault seed, so a flow's loss lottery is the same no matter
@@ -284,26 +320,54 @@ impl ScanBlueprint {
     /// Traffic capture is off: shard probes are accounted via stats and
     /// metrics, not the packet log.
     pub fn build_network(&self, shard: u64) -> Network {
-        let rng_seed = self.fabric_seed ^ shard.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut net = Network::new(self.fabric_seed)
-            .with_latency(self.latency)
-            .with_rng_seed(rng_seed);
-        net.trace.set_enabled(false);
-        for (ip, spec) in &self.nodes {
-            let node: Box<dyn simnet::Node> = match spec {
-                ScanNodeSpec::Provider(p) => {
-                    Box::new(SharedProviderNs::new(self.providers[*p].clone(), *ip))
+        let mut net = self.empty_replica(shard);
+        match &self.backing {
+            BlueprintBacking::Eager {
+                providers,
+                answers,
+                nodes,
+            } => {
+                for (ip, spec) in nodes {
+                    let node: Box<dyn simnet::Node> = match spec {
+                        ScanNodeSpec::Provider(p) => {
+                            Box::new(SharedProviderNs::new(providers[*p].clone(), *ip))
+                        }
+                        ScanNodeSpec::Oracle => Box::new(SharedOracleNs::new(answers.clone())),
+                    };
+                    net.add_node(*ip, node);
                 }
-                ScanNodeSpec::Oracle => Box::new(SharedOracleNs::new(self.answers.clone())),
-            };
-            net.add_node(*ip, node);
+            }
+            BlueprintBacking::Lazy(plan) => {
+                plan.attach_nodes(&mut net, None);
+            }
         }
         net
     }
 
+    /// Build shard `shard`'s replica with only the nameserver nodes in
+    /// `scope` — the sequential streaming scan's memory lever. An eager
+    /// blueprint ignores the scope and builds the full replica (identical
+    /// fabrics keep the sharded scan bit-identical for every shard count);
+    /// a lazy blueprint generates accounts and zones for exactly the
+    /// providers that own a scoped address, so peak memory is one world
+    /// shard's slice of the zone tables.
+    pub fn build_network_scoped(&self, shard: u64, scope: &[Ipv4Addr]) -> Network {
+        match &self.backing {
+            BlueprintBacking::Eager { .. } => self.build_network(shard),
+            BlueprintBacking::Lazy(plan) => {
+                let mut net = self.empty_replica(shard);
+                plan.attach_nodes(&mut net, Some(scope));
+                net
+            }
+        }
+    }
+
     /// Number of nameserver nodes in the snapshot.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        match &self.backing {
+            BlueprintBacking::Eager { nodes, .. } => nodes.len(),
+            BlueprintBacking::Lazy(plan) => plan.nameserver_count(),
+        }
     }
 }
 

@@ -94,7 +94,7 @@ fn spf_masquerade_spans_eleven_nameservers_on_two_providers() {
     let ns: std::collections::HashSet<_> = spf_urs.iter().map(|u| u.ur.key.ns_ip).collect();
     assert_eq!(ns.len(), 11, "expected 11 nameservers, got {}", ns.len());
     let providers: std::collections::HashSet<_> =
-        spf_urs.iter().map(|u| u.ur.provider.clone()).collect();
+        spf_urs.iter().map(|u| u.ur.provider.as_str()).collect();
     assert_eq!(providers.len(), 2);
     assert!(providers.contains("Namecheap") && providers.contains("CSC"));
     // Three addresses in the same /24, all classified SPF.

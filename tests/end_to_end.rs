@@ -126,7 +126,7 @@ fn past_delegations_are_excluded_via_passive_dns() {
         let provider_name = &world.provider_meta[*p_idx].name;
         for u in &out.classified {
             if &u.ur.key.domain == domain
-                && &u.ur.provider == provider_name
+                && u.ur.provider.as_str() == provider_name
                 && u.ur.a_ips().contains(old_ip)
             {
                 seen += 1;
@@ -174,7 +174,7 @@ fn protective_urs_come_from_protective_providers_only() {
         if u.category == UrCategory::Protective {
             seen += 1;
             assert!(
-                protective_providers.contains(&u.ur.provider),
+                protective_providers.contains(u.ur.provider.as_str()),
                 "protective UR attributed to non-protective provider {}",
                 u.ur.provider
             );

@@ -34,8 +34,7 @@ fn expired_urs_disappear_from_the_second_epoch() {
     world.evolve(240, 25, 0.5, 11);
     let epoch2 = run(&mut world, &HunterConfig::fast());
 
-    let key =
-        |u: &urhunter::ClassifiedUr| (u.ur.key.ns_ip, u.ur.key.domain.clone(), u.ur.key.rtype);
+    let key = |u: &urhunter::ClassifiedUr| (u.ur.key.ns_ip, u.ur.key.domain, u.ur.key.rtype);
     let suspicious = |out: &urhunter::RunOutput| {
         out.classified
             .iter()

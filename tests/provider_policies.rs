@@ -262,7 +262,8 @@ fn provider_attribution_in_report() {
     for u in &out.classified {
         if u.category == UrCategory::Malicious {
             assert!(
-                world.provider_index(&u.ur.provider).is_some() || u.ur.provider == "MisconfDNS",
+                world.provider_index(u.ur.provider.as_str()).is_some()
+                    || u.ur.provider == "MisconfDNS",
                 "malicious UR attributed to unknown provider {}",
                 u.ur.provider
             );

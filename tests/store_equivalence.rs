@@ -1,0 +1,78 @@
+//! Equivalence pin for the columnar [`UrStore`]: a scan sunk into the
+//! store and read back — by materializing views (`to_vec`, `get`) or by
+//! consuming batches (`into_batches`) — must be field-for-field identical
+//! to the same scan sunk into a plain `Vec<CollectedUr>`. This is the
+//! contract `store.rs` documents and the strict-batch pipeline relies on.
+
+use urhunter::{
+    collect_urs_sharded, select_nameservers, CollectConfig, CollectedUr, HunterConfig,
+    QueryScheduler, UrStore,
+};
+use worldgen::{World, WorldConfig};
+
+/// Run the sharded bulk scan twice on identical worlds: once into a plain
+/// vector, once into the columnar store.
+fn collect_both(config: WorldConfig, shards: usize) -> (Vec<CollectedUr>, UrStore) {
+    let cfg = HunterConfig::fast();
+    let run = |sink: &mut dyn FnMut(Vec<CollectedUr>)| {
+        let world = World::generate(config.clone());
+        let nameservers = select_nameservers(&world, cfg.collect.min_tail_sites);
+        let targets = world.scan_targets();
+        let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
+        collect_urs_sharded(
+            &world.scan_blueprint(),
+            cfg.retry,
+            world.net.faults(),
+            None,
+            &world.registry,
+            &nameservers,
+            &targets,
+            &CollectConfig::default(),
+            &mut scheduler,
+            shards,
+            512,
+            sink,
+        );
+    };
+    let mut plain: Vec<CollectedUr> = Vec::new();
+    run(&mut |batch| plain.extend(batch));
+    let mut store = UrStore::new();
+    run(&mut |batch| store.extend(batch));
+    (plain, store)
+}
+
+fn assert_equivalent(plain: &[CollectedUr], store: UrStore) {
+    assert_eq!(store.len(), plain.len());
+    assert_eq!(
+        store.record_count(),
+        plain
+            .iter()
+            .map(|u| u.records.len() + u.aux_records.len())
+            .sum::<usize>()
+    );
+    // Random access and full materialization agree with the vector.
+    for (i, want) in plain.iter().enumerate() {
+        assert_eq!(store.key(i), want.key);
+        assert_eq!(&store.get(i), want);
+    }
+    assert_eq!(store.to_vec(), plain);
+    // Batch consumption yields the same URs in the same order, for a batch
+    // size that doesn't divide the total.
+    let flat: Vec<CollectedUr> = store.into_batches(777).flatten().collect();
+    assert_eq!(flat, plain);
+}
+
+#[test]
+fn store_matches_vec_sink_on_small_world() {
+    let (plain, store) = collect_both(WorldConfig::small(), 1);
+    assert!(!plain.is_empty());
+    assert_equivalent(&plain, store);
+}
+
+#[test]
+#[ignore = "medium world: run with --ignored in release"]
+fn store_matches_vec_sink_on_medium_world_sharded() {
+    let (plain, store) = collect_both(WorldConfig::medium(), 4);
+    assert!(plain.len() > 10_000, "medium scan should be substantial");
+    assert_equivalent(&plain, store);
+}
