@@ -27,6 +27,10 @@ echo "== fault matrix: cargo test --release --test fault_tolerance =="
 cargo test -q --release --test fault_tolerance
 cargo test -q --release --test fault_tolerance -- --ignored
 
+echo "== adaptive battery: adaptive_props + adaptive_equivalence =="
+cargo test -q --release --test adaptive_props
+cargo test -q --release --test adaptive_equivalence
+
 echo "== smoke: urhunter --metrics-out =="
 METRICS_OUT=$(mktemp /tmp/urhunter-metrics.XXXXXX.jsonl)
 cargo run --release -q -p urhunter --bin urhunter -- --metrics-out "$METRICS_OUT" >/dev/null
@@ -62,6 +66,15 @@ test -n "$SHARD1_OUT" || {
     exit 1
 }
 
+echo "== smoke: urhunter --adaptive vs fixed table1 =="
+# Adaptive scheduling may only move the simulated clock: the full table1
+# rendering must match the fixed-timeout run bit for bit.
+ADAPTIVE_OUT=$(cargo run --release -q -p urhunter --bin urhunter -- --adaptive --report table1 2>/dev/null)
+if [ "$SHARD1_OUT" != "$ADAPTIVE_OUT" ]; then
+    echo "ci.sh: --adaptive output diverges from the fixed-timeout run" >&2
+    exit 1
+fi
+
 echo "== smoke: xl_stream (streamed paper-scale path) =="
 # CI-sized streamed world: plan-backed lazy fabrics, scoped shard builds,
 # fold-style classification. The binary itself asserts full coverage,
@@ -86,7 +99,8 @@ grep -q '"metrics_overhead_ratio"' BENCH_pipeline.json || {
     exit 1
 }
 for field in '"collect_ms"' '"urs_per_sec"' '"shards"' '"collect_sharded_ms"' \
-    '"peak_rss_mb"' '"xl"'; do
+    '"peak_rss_mb"' '"xl"' '"adaptive_collect_ms"' '"adaptive_gave_up"' \
+    '"bucket_wait_ms"'; do
     grep -q "$field" BENCH_pipeline.json || {
         echo "ci.sh: BENCH_pipeline.json is missing $field" >&2
         exit 1

@@ -372,15 +372,20 @@ pub fn dns_query_with_timeout(
     timeout: simnet::SimDuration,
 ) -> Option<Message> {
     let query = Message::query(id, Question::new(qname.clone(), qtype));
+    // No defensive clone of the wire bytes: the fabric consumes the buffer
+    // and recycles it through the pool. The rare TC fallback re-encodes,
+    // which is cheaper than cloning every query on the hot path.
     let bytes = query.encode().ok()?;
     let reply = net.rpc(
         simnet::Endpoint::new(client_ip, 30000 + (id % 30000)),
         simnet::Endpoint::new(server_ip, DNS_PORT),
         simnet::Proto::Udp,
-        bytes.clone(),
+        bytes,
         timeout,
     )?;
-    let resp = Message::decode(&reply).ok()?;
+    let decoded = Message::decode(&reply);
+    dnswire::bufpool::release(reply);
+    let resp = decoded.ok()?;
     if resp.id != id {
         return None;
     }
@@ -388,6 +393,7 @@ pub fn dns_query_with_timeout(
         return Some(resp);
     }
     // TCP fallback for the complete answer.
+    let bytes = query.encode().ok()?;
     let tcp_reply = net.rpc(
         simnet::Endpoint::new(client_ip, 30000 + (id % 30000)),
         simnet::Endpoint::new(server_ip, DNS_PORT),
@@ -396,10 +402,14 @@ pub fn dns_query_with_timeout(
         timeout,
     );
     match tcp_reply {
-        Some(raw) => match Message::decode(&raw) {
-            Ok(full) if full.id == id => Some(full),
-            _ => Some(resp),
-        },
+        Some(raw) => {
+            let decoded = Message::decode(&raw);
+            dnswire::bufpool::release(raw);
+            match decoded {
+                Ok(full) if full.id == id => Some(full),
+                _ => Some(resp),
+            }
+        }
         // TCP blocked or lost: the truncated answer is all we have.
         None => Some(resp),
     }

@@ -11,6 +11,13 @@
 //! `recall` column is URs collected relative to the reliable run; `hash=`
 //! marks whether the classified sequence matches the reliable run
 //! bit-for-bit.
+//!
+//! A second table pits the adaptive RTT-derived timeout against the fixed
+//! plan timeout at the default retry budget. Both sides see the same loss
+//! lottery, so recall and give-ups must match exactly — what the adaptive
+//! policy buys is *simulated elapsed time*: each lost first attempt costs
+//! `srtt + k*rttvar` instead of the full fixed timeout. The binary asserts
+//! recall parity and the simulated-time win at every non-zero drop rate.
 
 use simnet::FaultPlan;
 use urhunter::{classified_sequence_hash, run, HunterConfig, QueryPlan};
@@ -45,6 +52,60 @@ fn main() {
                 c.retransmissions,
                 if matches { "=" } else { "≠" },
             );
+        }
+    }
+
+    println!("\nadaptive vs fixed timeouts (default retry budget, simulated time)\n");
+    println!("| drop | policy | URs | recall | gave up | sim elapsed (ms) | hash |");
+    println!("|---|---|---|---|---|---|---|");
+    for drop in [0.0, 0.01, 0.05] {
+        let mut fixed_ms = 0.0;
+        let mut fixed_hash = 0u64;
+        let mut fixed_gave_up = 0u64;
+        for adaptive in [false, true] {
+            let mut cfg =
+                HunterConfig::fast().with_scan_faults(FaultPlan::lossy(drop).scheduled_per_flow());
+            if adaptive {
+                cfg = cfg.with_adaptive();
+            }
+            let out = run(&mut World::generate(WorldConfig::small()), &cfg);
+            let c = &out.coverage;
+            assert!(c.is_complete(), "coverage must account for every probe");
+            let urs = out.report.totals.total;
+            let recall = 100.0 * urs as f64 / reliable_urs as f64;
+            let hash = classified_sequence_hash(&out.classified);
+            let sim_ms = out.scan_elapsed.as_micros() as f64 / 1e3;
+            println!(
+                "| {drop:.2} | {} | {urs} | {recall:.2} % | {} | {sim_ms:.1} | {} |",
+                if adaptive { "adaptive" } else { "fixed" },
+                c.total_gave_up(),
+                if hash == reliable_hash { "=" } else { "≠" },
+            );
+            if adaptive {
+                // Same loss lottery, derived timeout floored above the
+                // fabric's worst round trip: adaptivity must never trade
+                // recall for speed — and must actually be faster once
+                // drops make the fixed policy wait out its full timeout.
+                assert_eq!(
+                    hash, fixed_hash,
+                    "adaptive run diverged from the fixed run at drop {drop}"
+                );
+                assert!(
+                    c.total_gave_up() <= fixed_gave_up,
+                    "adaptive gave up more probes than fixed at drop {drop}"
+                );
+                if drop > 0.0 {
+                    assert!(
+                        sim_ms < fixed_ms,
+                        "adaptive lost to fixed in simulated time at drop {drop} \
+                         ({sim_ms:.1} ms vs {fixed_ms:.1} ms)"
+                    );
+                }
+            } else {
+                fixed_ms = sim_ms;
+                fixed_hash = hash;
+                fixed_gave_up = c.total_gave_up();
+            }
         }
     }
 }

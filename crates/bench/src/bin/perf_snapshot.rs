@@ -8,8 +8,10 @@
 //! parallel) and the two pipeline executors on the medium benchmark world,
 //! verifies that every path produces bit-identical results, checks the
 //! collection coverage accounting (a reliable network must answer every
-//! probe), and writes the results to `BENCH_pipeline.json` in the working
-//! directory.
+//! probe), compares the adaptive RTT-derived timeout policy against the
+//! fixed plan timeout under loss in *simulated* time, records the
+//! token-bucket wait of a globally rate-capped run, and writes the
+//! results to `BENCH_pipeline.json` in the working directory.
 //!
 //! The strict-batch and streaming pipelines are timed under the *same*
 //! configuration (parallelism, raw-UR retention) so the comparison
@@ -364,6 +366,64 @@ fn main() {
         );
     }
 
+    // Adaptive scheduling block, measured in *simulated* time so the
+    // comparison is deterministic: under 5% loss the fixed policy burns
+    // the full plan timeout for every lost first attempt, while the
+    // adaptive policy times out at `srtt + k*rttvar` (floored above the
+    // fabric's worst RTT, so the answers — and the classified hash — are
+    // bit-identical; only the simulated clock differs).
+    let lossy_cfg = HunterConfig::fast()
+        .with_parallelism(1)
+        .with_keep_raw_collected(false)
+        .with_scan_faults(simnet::FaultPlan::lossy(0.05).scheduled_per_flow());
+    let adaptive_cfg = lossy_cfg.clone().with_adaptive();
+    let fixed_out = run(&mut World::generate(WorldConfig::medium()), &lossy_cfg);
+    let adaptive_out = run(&mut World::generate(WorldConfig::medium()), &adaptive_cfg);
+    assert_eq!(
+        urhunter::classified_sequence_hash(&adaptive_out.classified),
+        urhunter::classified_sequence_hash(&fixed_out.classified),
+        "adaptive scheduling changed the classified output under loss"
+    );
+    assert_eq!(
+        adaptive_out.coverage, fixed_out.coverage,
+        "adaptive scheduling changed the probe accounting under loss"
+    );
+    let fixed_collect_ms = fixed_out.scan_elapsed.as_micros() as f64 / 1e3;
+    let adaptive_collect_ms = adaptive_out.scan_elapsed.as_micros() as f64 / 1e3;
+    let fixed_gave_up = fixed_out.coverage.total_gave_up();
+    let adaptive_gave_up = adaptive_out.coverage.total_gave_up();
+    assert!(
+        adaptive_gave_up <= fixed_gave_up,
+        "adaptive scheduling gave up more probes than the fixed policy \
+         ({adaptive_gave_up} vs {fixed_gave_up})"
+    );
+    assert!(
+        adaptive_collect_ms < fixed_collect_ms,
+        "adaptive scheduling did not beat the fixed timeout in simulated time \
+         ({adaptive_collect_ms:.2} ms vs {fixed_collect_ms:.2} ms)"
+    );
+    let adaptive_sim_speedup = fixed_collect_ms / adaptive_collect_ms;
+    // Token-bucket pacing: a global cap whose interval exceeds the
+    // fabric's worst round trip forces a wait before every probe, so the
+    // recorded bucket wait must be non-zero (and the output unchanged —
+    // pacing moves the simulated clock, never the answers).
+    const RATE_LIMIT_PER_SEC: u64 = 2;
+    let paced_cfg = HunterConfig::fast()
+        .with_parallelism(1)
+        .with_keep_raw_collected(false)
+        .with_rate_limit_per_sec(RATE_LIMIT_PER_SEC);
+    let paced_out = run(&mut World::generate(WorldConfig::medium()), &paced_cfg);
+    assert_eq!(
+        urhunter::classified_sequence_hash(&paced_out.classified),
+        ref_hash,
+        "rate-limited run diverged from the reference run"
+    );
+    assert!(
+        paced_out.bucket_wait > simnet::SimDuration::ZERO,
+        "a global rate cap below the probe rate recorded no bucket wait"
+    );
+    let bucket_wait_ms = paced_out.bucket_wait.as_micros() as f64 / 1e3;
+
     // Medium-world memory high-water, captured *before* any xl work so the
     // number describes the medium snapshot alone.
     let peak_rss = bench::peak_rss_mb();
@@ -444,6 +504,14 @@ fn main() {
          \"attr_cache\": {{ \"resolved\": {attr_cache_resolved}, \
          \"repeat_hits\": {attr_cache_hits} }},\n  \
          \"thread_speedup\": {thread_speedup:.3},\n  \
+         \"adaptive\": {{ \"drop\": 0.05, \
+         \"fixed_collect_ms\": {fixed_collect_ms:.2}, \
+         \"fixed_gave_up\": {fixed_gave_up}, \
+         \"adaptive_collect_ms\": {adaptive_collect_ms:.2}, \
+         \"adaptive_gave_up\": {adaptive_gave_up}, \
+         \"sim_speedup\": {adaptive_sim_speedup:.2}, \
+         \"rate_limit_per_sec\": {RATE_LIMIT_PER_SEC}, \
+         \"bucket_wait_ms\": {bucket_wait_ms:.2} }},\n  \
          \"retry\": {{ \"attempts\": {}, \"timeout_ms\": {} }},\n  \
          \"coverage\": {{ \"scheduled\": {}, \"answered\": {}, \"retried_answered\": {}, \
          \"gave_up\": {}, \"skipped_quarantined\": {}, \"retransmissions\": {}, \

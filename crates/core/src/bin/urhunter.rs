@@ -5,6 +5,7 @@
 //!          [--report summary|table1|figure2|figure3|table2|all]
 //!          [--parallelism N] [--batch-size N] [--shards N]
 //!          [--retries N] [--timeout MS] [--fault-drop P]
+//!          [--adaptive] [--rtt-k N] [--rate-limit N]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
 //! ```
 //!
@@ -30,6 +31,15 @@
 //! collection stages only (per-flow scheduled, so the loss pattern is
 //! independent of the retry policy). Probe accounting is printed after
 //! every run.
+//!
+//! `--adaptive` turns on RTT-aware probe scheduling: per-nameserver
+//! smoothed RTT estimates derive per-attempt timeouts (`srtt + k * rttvar`,
+//! clamped to the plan's fixed timeout) and order each scan round by
+//! estimated latency. `--rtt-k N` sets the variance multiplier k
+//! (default 4, minimum 1). `--rate-limit N` caps the whole scan at N
+//! probes per second through a global token bucket (shards clamp to 1 so
+//! one clock paces the fleet). All three change simulated elapsed time
+//! only — the classified output is bit-identical.
 //!
 //! `--metrics-out FILE` attaches the observability hub to the run, prints
 //! the metrics table, and writes every metric and traced event to FILE as
@@ -58,6 +68,9 @@ struct Args {
     retries: Option<u32>,
     timeout_ms: Option<u64>,
     fault_drop: Option<f64>,
+    adaptive: bool,
+    rtt_k: Option<u32>,
+    rate_limit: Option<u64>,
     extended: bool,
     expand_pdns: bool,
     payload_match: bool,
@@ -72,6 +85,7 @@ fn usage() -> ! {
          [--report summary|table1|figure2|figure3|table2|all]\n\
          \u{20}               [--parallelism N] [--batch-size N] [--shards N]\n\
          \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
+         \u{20}               [--adaptive] [--rtt-k N] [--rate-limit N]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
          \u{20}               [--metrics-out FILE]\n\
          \u{20} --world medium runs the materialized medium world through the full\n\
@@ -85,7 +99,12 @@ fn usage() -> ! {
          \u{20} under --ethics);\n\
          \u{20} --retries N attempts per probe (default 3, minimum 1), --timeout MS per\n\
          \u{20} attempt (positive), --fault-drop P injects drop probability P in [0,1]\n\
-         \u{20} for the collection stages; --metrics-out FILE writes the observability\n\
+         \u{20} for the collection stages; --adaptive derives per-attempt timeouts\n\
+         \u{20} from smoothed per-nameserver RTT and orders scan rounds by estimated\n\
+         \u{20} latency (output stays bit-identical), --rtt-k N sets the variance\n\
+         \u{20} multiplier (default 4, minimum 1), --rate-limit N caps the scan at N\n\
+         \u{20} probes per second globally (positive; clamps shards to 1);\n\
+         \u{20} --metrics-out FILE writes the observability\n\
          \u{20} registry and event trace as JSON lines."
     );
     std::process::exit(2)
@@ -103,6 +122,9 @@ fn parse_args() -> Args {
         retries: None,
         timeout_ms: None,
         fault_drop: None,
+        adaptive: false,
+        rtt_k: None,
+        rate_limit: None,
         extended: false,
         expand_pdns: false,
         payload_match: false,
@@ -179,6 +201,25 @@ fn parse_args() -> Args {
                 }
                 args.fault_drop = Some(p);
             }
+            "--adaptive" => args.adaptive = true,
+            "--rtt-k" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let k: u32 = v.parse().unwrap_or_else(|_| usage());
+                if k == 0 {
+                    eprintln!("--rtt-k must be at least 1 (got 0): the variance term needs weight");
+                    usage()
+                }
+                args.rtt_k = Some(k);
+            }
+            "--rate-limit" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n: u64 = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--rate-limit must be a positive number of probes per second");
+                    usage()
+                }
+                args.rate_limit = Some(n);
+            }
             "--extended" => args.extended = true,
             "--expand-pdns" => args.expand_pdns = true,
             "--payload-match" => args.payload_match = true,
@@ -208,7 +249,13 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
     if let Some(seed) = args.seed {
         config = config.with_seed(seed);
     }
-    let shards = args.shards.unwrap_or(8);
+    // A global probe cap needs one scanner clock: mirror the pipeline's
+    // shard clamp so the token bucket paces the whole fleet.
+    let shards = if args.rate_limit.is_some() {
+        1
+    } else {
+        args.shards.unwrap_or(8)
+    };
     eprintln!(
         "generating streamed world (preset={preset}, seed={})...",
         config.seed
@@ -219,7 +266,16 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
         world.nameservers.len(),
         world.scan_targets().len()
     );
-    let hunter = HunterConfig::fast().with_keep_raw_collected(false);
+    let mut hunter = HunterConfig::fast().with_keep_raw_collected(false);
+    if args.adaptive {
+        hunter = hunter.with_adaptive();
+    }
+    if let Some(k) = args.rtt_k {
+        hunter = hunter.with_rtt_k(k);
+    }
+    if let Some(per_sec) = args.rate_limit {
+        hunter = hunter.with_rate_limit_per_sec(per_sec);
+    }
     let out = urhunter::run_streamed(&world, &hunter, shards);
     println!(
         "world {preset}: {} nameservers, {} targets, {} shard(s)\n\
@@ -296,6 +352,15 @@ fn main() -> ExitCode {
     }
     if let Some(p) = args.fault_drop {
         hunter = hunter.with_scan_faults(simnet::FaultPlan::lossy(p).scheduled_per_flow());
+    }
+    if args.adaptive {
+        hunter = hunter.with_adaptive();
+    }
+    if let Some(k) = args.rtt_k {
+        hunter = hunter.with_rtt_k(k);
+    }
+    if let Some(per_sec) = args.rate_limit {
+        hunter = hunter.with_rate_limit_per_sec(per_sec);
     }
     let hub = args.metrics_out.as_ref().map(|_| obs::Obs::shared());
     if let Some(hub) = &hub {

@@ -2,13 +2,13 @@
 //! nameservers, correct records from open resolvers and passive DNS, and
 //! protective records from canary probes.
 
-use crate::query::ProbeEngine;
+use crate::query::{NsHealth, ProbeEngine};
 use crate::schedule::QueryScheduler;
 use crate::types::{CollectedUr, CorrectDb, DomainProfile, ProtectiveDb, UrKey};
 use dnswire::{Name, Rcode, RecordType};
 use intern::{InternedName, Sym};
 use simnet::Network;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::net::Ipv4Addr;
 use worldgen::{NsInfo, World};
 
@@ -208,7 +208,14 @@ pub fn collect_urs_stream(
     };
     let mut pending: Vec<CollectedUr> = Vec::new();
     let mut qids = QidGen::new();
-    for (ni, di, rtype) in tasks {
+    net.set_payload_recycler(Some(dnswire::bufpool::release));
+    let mut feed = TaskFeed::new(
+        engine.plan.adaptive,
+        engine.plan.backoff_seed,
+        tasks,
+        |&(ni, _, _)| nameservers[ni].ip,
+    );
+    while let Some((ni, di, rtype)) = feed.next(&engine.health) {
         let ns = &nameservers[ni];
         scheduler.admit(net, ns.ip);
         // Legacy stream keying: one qid stream per (target, rtype), shared
@@ -340,6 +347,125 @@ fn probe_task(
     Some(ur)
 }
 
+/// RTT-ordered task selection for adaptive scans.
+///
+/// Tasks are grouped into per-server FIFO queues (first-appearance order).
+/// Selection proceeds in rounds: each round visits every server that still
+/// has work, ordered by its current smoothed RTT — fastest first, with a
+/// seeded hash as the tie-break — and takes one task from each queue.
+/// Servers with no estimate yet sort first (their probe *is* the warm-up
+/// measurement); servers that have been probed but never answered sort
+/// last (they cost a full timeout each visit).
+///
+/// Two properties matter for determinism and the test battery:
+/// * **Permutation** — every task is yielded exactly once; reordering
+///   never drops or duplicates work.
+/// * **Per-server FIFO** — tasks for one server keep their relative order,
+///   so per-flow fault fates, per-pair qid streams and quarantine streaks
+///   are untouched and the scan's output stays bit-identical to the
+///   unordered schedule (see DESIGN.md §11).
+#[derive(Debug)]
+pub struct RttSelector<T> {
+    seed: u64,
+    queues: Vec<(Ipv4Addr, VecDeque<T>)>,
+    /// Current round, as a reversed stack of `queues` indices.
+    round: Vec<usize>,
+    probed: Vec<bool>,
+    remaining: usize,
+}
+
+impl<T> RttSelector<T> {
+    /// Group `tasks` into per-server FIFO queues using `server_of`.
+    pub fn new(seed: u64, tasks: Vec<T>, server_of: impl Fn(&T) -> Ipv4Addr) -> Self {
+        let mut queues: Vec<(Ipv4Addr, VecDeque<T>)> = Vec::new();
+        let mut slot: std::collections::HashMap<Ipv4Addr, usize> = std::collections::HashMap::new();
+        let remaining = tasks.len();
+        for task in tasks {
+            let ip = server_of(&task);
+            let idx = *slot.entry(ip).or_insert_with(|| {
+                queues.push((ip, VecDeque::new()));
+                queues.len() - 1
+            });
+            queues[idx].1.push_back(task);
+        }
+        let probed = vec![false; queues.len()];
+        RttSelector {
+            seed,
+            queues,
+            round: Vec::new(),
+            probed,
+            remaining,
+        }
+    }
+
+    fn tie_break(seed: u64, ip: Ipv4Addr) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        u32::from(ip).hash(&mut h);
+        h.finish()
+    }
+
+    /// Yield the next task under the current RTT estimates in `health`.
+    pub fn next(&mut self, health: &NsHealth) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            if let Some(si) = self.round.pop() {
+                if let Some(task) = self.queues[si].1.pop_front() {
+                    self.probed[si] = true;
+                    self.remaining -= 1;
+                    return Some(task);
+                }
+                // Queue drained during an earlier round; skip the slot.
+                continue;
+            }
+            // Start a new round over every server that still has work,
+            // fastest estimate first.
+            let mut order: Vec<usize> = (0..self.queues.len())
+                .filter(|&i| !self.queues[i].1.is_empty())
+                .collect();
+            order.sort_by_key(|&i| {
+                let ip = self.queues[i].0;
+                let key = match health.rtt_estimate(ip) {
+                    Some(est) => est.srtt_us,
+                    None if self.probed[i] => u64::MAX,
+                    None => 0,
+                };
+                (key, Self::tie_break(self.seed, ip))
+            });
+            order.reverse(); // `round` is consumed by pop() from the back
+            self.round = order;
+        }
+    }
+}
+
+/// How a scan walks its task list: the randomized FIFO order as-is, or
+/// re-ordered by smoothed RTT when the plan is adaptive.
+enum TaskFeed<T> {
+    Fifo(std::vec::IntoIter<T>),
+    Rtt(RttSelector<T>),
+}
+
+impl<T> TaskFeed<T> {
+    fn new(adaptive: bool, seed: u64, tasks: Vec<T>, server_of: impl Fn(&T) -> Ipv4Addr) -> Self {
+        if adaptive {
+            TaskFeed::Rtt(RttSelector::new(seed, tasks, server_of))
+        } else {
+            TaskFeed::Fifo(tasks.into_iter())
+        }
+    }
+
+    fn next(&mut self, health: &NsHealth) -> Option<T> {
+        match self {
+            TaskFeed::Fifo(it) => it.next(),
+            TaskFeed::Rtt(sel) => sel.next(health),
+        }
+    }
+}
+
 /// One bulk-scan probe: (nameserver index, target index, record type).
 pub type ScanTask = (usize, usize, RecordType);
 
@@ -389,6 +515,9 @@ pub struct ShardedScanOutcome {
     pub stats: simnet::NetStats,
     /// How many shards actually ran.
     pub shards: usize,
+    /// Total simulated time the shard schedulers spent blocked on pacing
+    /// buckets (per-server interval and global rate cap combined).
+    pub bucket_wait: simnet::SimDuration,
 }
 
 /// Sharded bulk scan: the tentpole parallel collection path.
@@ -419,6 +548,7 @@ pub fn collect_urs_sharded(
     let mut tasks = build_scan_tasks(world_registry, nameservers, targets, cfg);
     scheduler.randomize(&mut tasks);
     let interval = scheduler.interval();
+    let global_interval = scheduler.global_interval();
     let n_tasks = tasks.len();
     let parts = partition_scan_tasks(&tasks, nameservers.len(), shards.max(1));
 
@@ -427,6 +557,7 @@ pub fn collect_urs_sharded(
     let run_shard = |shard_idx: usize, part: &[(usize, (usize, usize, RecordType))]| {
         let mut net = blueprint.build_network(shard_idx as u64);
         net.set_faults(faults);
+        net.set_payload_recycler(Some(dnswire::bufpool::release));
         if let Some(hub) = &obs {
             net.set_obs(Some(simnet::FabricMetrics::register(hub.registry())));
         }
@@ -436,10 +567,16 @@ pub fn collect_urs_sharded(
         }
         // Pacing state is per shard; the seed is irrelevant (randomize was
         // already applied globally) but the interval policy carries over.
-        let mut sched = QueryScheduler::new(0, interval);
+        let mut sched = QueryScheduler::new(0, interval).with_global_interval(global_interval);
         let mut qids = QidGen::new();
         let mut urs: Vec<(usize, CollectedUr)> = Vec::new();
-        for &(gidx, (ni, di, rtype)) in part {
+        let mut feed = TaskFeed::new(
+            plan.adaptive,
+            plan.backoff_seed,
+            part.to_vec(),
+            |&(_, (ni, _, _))| nameservers[ni].ip,
+        );
+        while let Some((gidx, (ni, di, rtype))) = feed.next(&engine.health) {
             let ns = &nameservers[ni];
             sched.admit(&mut net, ns.ip);
             if let Some(ur) = probe_task(
@@ -461,7 +598,13 @@ pub fn collect_urs_sharded(
         // path leaves them queued past the collect stage.
         let elapsed = net.now() - simnet::SimTime::ZERO;
         net.settle();
-        (urs, engine.take_coverage(), elapsed, net.stats())
+        (
+            urs,
+            engine.take_coverage(),
+            elapsed,
+            net.stats(),
+            sched.wait_us(),
+        )
     };
 
     let results: Vec<_> = if parts.len() == 1 {
@@ -487,8 +630,9 @@ pub fn collect_urs_sharded(
         elapsed: simnet::SimDuration::ZERO,
         stats: simnet::NetStats::default(),
         shards: parts.len(),
+        bucket_wait: simnet::SimDuration::ZERO,
     };
-    for (urs, coverage, elapsed, stats) in results {
+    for (urs, coverage, elapsed, stats, wait_us) in results {
         for (gidx, ur) in urs {
             merged[gidx] = Some(ur);
         }
@@ -496,6 +640,7 @@ pub fn collect_urs_sharded(
         // the union independent of shard boundaries.
         outcome.coverage.absorb(&coverage);
         outcome.elapsed = outcome.elapsed + elapsed;
+        outcome.bucket_wait = outcome.bucket_wait + simnet::SimDuration::from_micros(wait_us);
         outcome.stats.delivered += stats.delivered;
         outcome.stats.dropped += stats.dropped;
         outcome.stats.corrupted += stats.corrupted;
@@ -553,6 +698,7 @@ pub fn collect_urs_streamed(
     cfg: &CollectConfig,
     scheduler_seed: u64,
     pacing: simnet::SimDuration,
+    global_pacing: simnet::SimDuration,
     world_shards: usize,
     batch_size: usize,
     sink: &mut dyn FnMut(Vec<CollectedUr>),
@@ -569,6 +715,7 @@ pub fn collect_urs_streamed(
         elapsed: simnet::SimDuration::ZERO,
         stats: simnet::NetStats::default(),
         shards: ranges.len(),
+        bucket_wait: simnet::SimDuration::ZERO,
     };
     let mut pending: Vec<CollectedUr> = Vec::new();
     for (shard_idx, range) in ranges.iter().enumerate() {
@@ -590,11 +737,12 @@ pub fn collect_urs_streamed(
         }
         let shard_seed =
             scheduler_seed ^ (shard_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut sched = QueryScheduler::new(shard_seed, pacing);
+        let mut sched = QueryScheduler::new(shard_seed, pacing).with_global_interval(global_pacing);
         sched.randomize(&mut tasks);
         let scope: Vec<Ipv4Addr> = range.clone().map(|ni| nameservers[ni].ip).collect();
         let mut net = blueprint.build_network_scoped(shard_idx as u64, &scope);
         net.set_faults(faults);
+        net.set_payload_recycler(Some(dnswire::bufpool::release));
         if let Some(hub) = &obs {
             net.set_obs(Some(simnet::FabricMetrics::register(hub.registry())));
         }
@@ -603,7 +751,10 @@ pub fn collect_urs_streamed(
             engine = engine.with_obs(hub.clone());
         }
         let mut qids = QidGen::new();
-        for (ni, di, rtype) in tasks {
+        let mut feed = TaskFeed::new(plan.adaptive, plan.backoff_seed, tasks, |&(ni, _, _)| {
+            nameservers[ni].ip
+        });
+        while let Some((ni, di, rtype)) = feed.next(&engine.health) {
             let ns = &nameservers[ni];
             sched.admit(&mut net, ns.ip);
             if let Some(ur) = probe_task(
@@ -626,6 +777,8 @@ pub fn collect_urs_streamed(
         net.settle();
         outcome.coverage.absorb(&engine.take_coverage());
         outcome.elapsed = outcome.elapsed + elapsed;
+        outcome.bucket_wait =
+            outcome.bucket_wait + simnet::SimDuration::from_micros(sched.wait_us());
         let stats = net.stats();
         outcome.stats.delivered += stats.delivered;
         outcome.stats.dropped += stats.dropped;

@@ -58,7 +58,7 @@ pub use classify::{
 pub use collect::{
     collect_correct, collect_protective, collect_urs, collect_urs_sharded, collect_urs_stream,
     collect_urs_streamed, correct_db_from_stream, partition_scan_tasks, protective_db_from_stream,
-    scan_stream, select_nameservers, CollectConfig, QidGen, ScanTask, ShardTasks,
+    scan_stream, select_nameservers, CollectConfig, QidGen, RttSelector, ScanTask, ShardTasks,
     ShardedScanOutcome, NS_SELECTION_THRESHOLD,
 };
 pub use defense::{BypassAlert, EgressMonitor};
@@ -66,9 +66,9 @@ pub use pipeline::{
     classified_sequence_hash, evaluate_false_negatives, run, run_streamed, HunterConfig,
     OverlapStats, RunOutput, SequenceHasher, StreamRunOutput,
 };
-pub use query::{CoverageReport, NsHealth, ProbeEngine, QueryPlan};
+pub use query::{CoverageReport, NsHealth, ProbeEngine, QueryPlan, RttEstimate, DEFAULT_RTT_K};
 pub use report::{build_report, ProviderRow, Report, ReportBuilder, Table1Row, Totals};
-pub use schedule::{QueryScheduler, PAPER_PER_SERVER_INTERVAL};
+pub use schedule::{QueryScheduler, TokenBucket, PAPER_PER_SERVER_INTERVAL};
 pub use store::UrStore;
 pub use types::{
     ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, DomainProfile, MaliciousEvidence,

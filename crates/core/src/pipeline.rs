@@ -75,6 +75,12 @@ pub struct HunterConfig {
     /// a local measurement and must stay clean). `None` leaves the world's
     /// fault plan untouched.
     pub scan_faults: Option<FaultPlan>,
+    /// Global scan rate cap: minimum spacing between *any* two bulk-scan
+    /// probes, regardless of server (`ZERO` = uncapped). Enforced by a
+    /// token bucket on the virtual clock; like ethics pacing it forces the
+    /// scan onto one shard, because a global rate only means something on
+    /// one clock.
+    pub rate_limit_interval: SimDuration,
     /// Observability hub (see `crates/obs`): when set, every layer mirrors
     /// its accounting into the hub's registry and event sink — fabric
     /// datagram counters, the probe-funnel, classification verdicts, stage
@@ -101,6 +107,7 @@ impl HunterConfig {
             keep_raw_collected: true,
             retry: QueryPlan::default(),
             scan_faults: None,
+            rate_limit_interval: SimDuration::ZERO,
             obs: None,
         }
     }
@@ -187,6 +194,30 @@ impl HunterConfig {
         self
     }
 
+    /// Enable RTT-derived per-server timeouts and RTT-ordered nameserver
+    /// selection for every collection-stage probe (the `--adaptive` flag).
+    pub fn with_adaptive(mut self) -> Self {
+        self.retry = self.retry.adaptive();
+        self
+    }
+
+    /// Set the RTTVAR multiplier of the derived timeout (the `--rtt-k`
+    /// flag; only meaningful together with [`HunterConfig::with_adaptive`]).
+    pub fn with_rtt_k(mut self, k: u32) -> Self {
+        self.retry = self.retry.rtt_k(k);
+        self
+    }
+
+    /// Cap the whole scan at `per_sec` probes per simulated second (the
+    /// `--rate-limit` flag; see [`HunterConfig::rate_limit_interval`]).
+    pub fn with_rate_limit_per_sec(mut self, per_sec: u64) -> Self {
+        self.rate_limit_interval = match 1_000_000u64.checked_div(per_sec) {
+            Some(us) => SimDuration::from_micros(us),
+            None => SimDuration::ZERO,
+        };
+        self
+    }
+
     /// Attach an observability hub (see [`HunterConfig::obs`]).
     pub fn with_obs(mut self, hub: Arc<obs::Obs>) -> Self {
         self.obs = Some(hub);
@@ -233,6 +264,13 @@ pub struct RunOutput {
     /// Wall-clock overlap instrumentation from the streaming executor
     /// (all zero on the strict-batch path).
     pub overlap: OverlapStats,
+    /// Simulated time the bulk scan took (summed across shard fabrics) —
+    /// the honest basis for comparing fixed vs adaptive timeouts, since
+    /// host wall time barely notices a 5 s virtual wait.
+    pub scan_elapsed: SimDuration,
+    /// Simulated time the scan's schedulers spent blocked on pacing
+    /// buckets (per-server interval plus global rate cap).
+    pub bucket_wait: SimDuration,
 }
 
 /// How much classification work the streaming executor ran while the
@@ -312,13 +350,17 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         s.finish(h, world.net.now().as_micros());
     }
 
-    let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval);
+    let mut scheduler = QueryScheduler::new(cfg.scheduler_seed, cfg.per_server_interval)
+        .with_global_interval(cfg.rate_limit_interval);
     let classify_cfg = cfg.classify_cfg(world.config.today);
     let mut overlap = OverlapStats::default();
     // Under ethics pacing the paper's single scanner interleaves probes
     // across servers on one clock; sharding would make total elapsed time
-    // depend on the shard layout, so pacing runs unsharded.
-    let shards = if cfg.per_server_interval == SimDuration::ZERO {
+    // depend on the shard layout, so pacing runs unsharded. A global rate
+    // cap is one clock's budget for the same reason.
+    let shards = if cfg.per_server_interval == SimDuration::ZERO
+        && cfg.rate_limit_interval == SimDuration::ZERO
+    {
         cfg.shards.max(1)
     } else {
         1
@@ -496,6 +538,14 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
     world.net.set_faults(pre_scan_faults);
     let mut coverage = engine.take_coverage();
     coverage.absorb(&scan.coverage);
+    // Pacing accounting: the summed simulated time the shard schedulers
+    // spent blocked on their token buckets, mirrored into the registry so
+    // `--metrics-out` exports carry it.
+    if let Some(hub) = obs {
+        hub.registry()
+            .gauge("bucket_wait_us", obs::Class::Sim)
+            .set(scan.bucket_wait.as_micros() as i64);
+    }
     world.net.trace.set_enabled(true);
     if !cfg.keep_raw_collected {
         collected = Vec::new();
@@ -539,6 +589,8 @@ pub fn run(world: &mut World, cfg: &HunterConfig) -> RunOutput {
         protective_db,
         coverage,
         overlap,
+        scan_elapsed: scan.elapsed,
+        bucket_wait: scan.bucket_wait,
     }
 }
 
@@ -619,6 +671,8 @@ pub struct StreamRunOutput {
     pub sequence_hash: u64,
     /// How many world shards ran.
     pub shards: usize,
+    /// Simulated time the shard schedulers spent blocked on pacing buckets.
+    pub bucket_wait: SimDuration,
 }
 
 /// Run the streamed paper-scale pipeline against a plan-backed world:
@@ -676,6 +730,7 @@ pub fn run_streamed(
         &cfg.collect,
         cfg.scheduler_seed,
         cfg.per_server_interval,
+        cfg.rate_limit_interval,
         world_shards,
         batch,
         &mut |urs| {
@@ -703,6 +758,7 @@ pub fn run_streamed(
         elapsed: outcome.elapsed,
         sequence_hash: seq.digest(),
         shards: outcome.shards,
+        bucket_wait: outcome.bucket_wait,
     }
 }
 

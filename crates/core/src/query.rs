@@ -18,9 +18,19 @@
 //! * [`ProbeEngine`] — glues the three together around
 //!   [`authdns::dns_query_with_timeout`]; a retransmission reuses the same
 //!   qid (the original may still be in flight — a late reply must match).
+//! * [`RttEstimate`] — per-nameserver smoothed RTT (Jacobson SRTT/RTTVAR,
+//!   integer microseconds on the virtual clock). With
+//!   [`QueryPlan::adaptive`] the engine derives each attempt's timeout as
+//!   `srtt + k·rttvar` clamped to `[min_timeout, timeout]`, so a slow
+//!   server gets patience and a fast one fails over quickly — without ever
+//!   cutting below the fabric's worst-case round trip (see DESIGN.md §11
+//!   for the determinism argument). Servers that answer with
+//!   `recursion_available` set are resolving iteratively on their own
+//!   clock; their service time is unbounded by network distance, so they
+//!   are never sampled and keep the fixed plan timeout.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::net::Ipv4Addr;
 
@@ -49,6 +59,18 @@ pub struct QueryPlan {
     /// ([`NsHealth::release`]). 0 (the default) keeps quarantine permanent
     /// for the run, the pre-recovery behavior.
     pub quarantine_cooldown: u32,
+    /// Derive per-server timeouts from the smoothed RTT instead of using
+    /// the fixed `timeout` for every attempt. Off by default: the fixed
+    /// plan is the paper-faithful baseline.
+    pub adaptive: bool,
+    /// RTTVAR multiplier in the derived timeout `srtt + rtt_k·rttvar`
+    /// (TCP's RTO uses 4; larger is more conservative).
+    pub rtt_k: u32,
+    /// Floor for any derived timeout. Must exceed the fabric's worst-case
+    /// round trip or adaptivity would convert slow answers into losses;
+    /// the default (250 ms) clears [`simnet::LatencyModel`]'s ~200 ms
+    /// ceiling with margin.
+    pub min_timeout: SimDuration,
 }
 
 impl Default for QueryPlan {
@@ -61,9 +83,15 @@ impl Default for QueryPlan {
             backoff_seed: DEFAULT_BACKOFF_SEED,
             quarantine_threshold: 8,
             quarantine_cooldown: 0,
+            adaptive: false,
+            rtt_k: DEFAULT_RTT_K,
+            min_timeout: SimDuration::from_millis(250),
         }
     }
 }
+
+/// Default RTTVAR multiplier for derived timeouts.
+pub const DEFAULT_RTT_K: u32 = 4;
 
 /// Default jitter seed; any fixed value works, callers override per run.
 pub const DEFAULT_BACKOFF_SEED: u64 = 0x5EED_BACC_0FF5_EED5;
@@ -111,6 +139,36 @@ impl QueryPlan {
         self
     }
 
+    /// Turn on RTT-derived per-server timeouts and RTT-ordered selection.
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Override the RTTVAR multiplier used by [`QueryPlan::derived_timeout`].
+    pub fn rtt_k(mut self, k: u32) -> Self {
+        self.rtt_k = k.max(1);
+        self
+    }
+
+    /// Override the derived-timeout floor.
+    pub fn min_timeout(mut self, floor: SimDuration) -> Self {
+        self.min_timeout = floor;
+        self
+    }
+
+    /// Per-server timeout derived from an RTT estimate:
+    /// `srtt + rtt_k·rttvar` clamped to `[min_timeout, timeout]`. Monotone
+    /// non-decreasing in both SRTT and RTTVAR; never exceeds the fixed
+    /// timeout, never dips below the floor.
+    pub fn derived_timeout(&self, est: &RttEstimate) -> SimDuration {
+        let raw = est
+            .srtt_us
+            .saturating_add(u64::from(self.rtt_k).saturating_mul(est.rttvar_us));
+        let floor = self.min_timeout.as_micros().min(self.timeout.as_micros());
+        SimDuration::from_micros(raw.max(floor).min(self.timeout.as_micros()))
+    }
+
     /// Deterministic backoff delay before retry number `attempt`
     /// (1-based: `attempt = 1` is the wait before the first retransmission).
     ///
@@ -137,12 +195,50 @@ impl QueryPlan {
     }
 }
 
-/// Per-nameserver consecutive-failure circuit breaker.
+/// Smoothed round-trip estimate for one nameserver (Jacobson/Karels, the
+/// same filter TCP uses for its RTO), in integer microseconds of virtual
+/// time. Integer arithmetic keeps the estimator bit-reproducible: the same
+/// sample sequence always yields the same state, on any host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RttEstimate {
+    /// Smoothed RTT (`srtt ← 7/8·srtt + 1/8·sample`).
+    pub srtt_us: u64,
+    /// Smoothed mean deviation (`rttvar ← 3/4·rttvar + 1/4·|srtt − sample|`).
+    pub rttvar_us: u64,
+    /// Samples folded in so far.
+    pub samples: u64,
+}
+
+impl RttEstimate {
+    /// Estimate seeded from a first sample: `srtt = rtt`, `rttvar = rtt/2`.
+    pub fn first(rtt: SimDuration) -> Self {
+        let us = rtt.as_micros();
+        RttEstimate {
+            srtt_us: us,
+            rttvar_us: us / 2,
+            samples: 1,
+        }
+    }
+
+    /// Fold one more sample into the smoothed state.
+    pub fn update(&mut self, rtt: SimDuration) {
+        let us = rtt.as_micros();
+        let err = self.srtt_us.abs_diff(us);
+        self.rttvar_us = (3 * self.rttvar_us + err) / 4;
+        self.srtt_us = (7 * self.srtt_us + us) / 8;
+        self.samples += 1;
+    }
+}
+
+/// Per-nameserver consecutive-failure circuit breaker, plus the per-server
+/// RTT estimates that drive adaptive timeouts and RTT-ordered selection.
 #[derive(Debug, Clone, Default)]
 pub struct NsHealth {
     consecutive_failures: HashMap<Ipv4Addr, u32>,
     quarantined: BTreeSet<Ipv4Addr>,
     skipped_since_quarantine: HashMap<Ipv4Addr, u32>,
+    rtt: HashMap<Ipv4Addr, RttEstimate>,
+    recursive: HashSet<Ipv4Addr>,
 }
 
 impl NsHealth {
@@ -203,6 +299,41 @@ impl NsHealth {
     /// Current failure streak for a server (0 if healthy).
     pub fn failure_streak(&self, server: Ipv4Addr) -> u32 {
         self.consecutive_failures.get(&server).copied().unwrap_or(0)
+    }
+
+    /// Fold one RTT sample (measured on the virtual clock) into `server`'s
+    /// smoothed estimate. Callers follow Karn's rule: only first-attempt
+    /// answers are sampled, so a late reply to an earlier transmission can
+    /// never be mistaken for a fast response to the retry.
+    pub fn observe_rtt(&mut self, server: Ipv4Addr, rtt: SimDuration) {
+        match self.rtt.get_mut(&server) {
+            Some(est) => est.update(rtt),
+            None => {
+                self.rtt.insert(server, RttEstimate::first(rtt));
+            }
+        }
+    }
+
+    /// Current smoothed estimate for a server, if any sample has landed.
+    pub fn rtt_estimate(&self, server: Ipv4Addr) -> Option<RttEstimate> {
+        self.rtt.get(&server).copied()
+    }
+
+    /// Mark a server as answering recursively (`ra` set on a response).
+    ///
+    /// An authoritative server's service time is one fabric round trip per
+    /// transport leg, so a floored RTT-derived timeout can never cut off a
+    /// delivered answer. A recursive responder resolves iteratively on its
+    /// own clock — internal retry timers included — so its service time is
+    /// unbounded and no smoothed estimate is safe to enforce against it.
+    pub fn note_recursive(&mut self, server: Ipv4Addr) {
+        self.recursive.insert(server);
+        self.rtt.remove(&server);
+    }
+
+    /// Has this server ever demonstrated recursion?
+    pub fn is_recursive(&self, server: Ipv4Addr) -> bool {
+        self.recursive.contains(&server)
     }
 }
 
@@ -277,6 +408,9 @@ struct EngineObs {
     ns_quarantined: obs::Counter,
     ns_released: obs::Counter,
     attempts: obs::Histogram,
+    rtt_us: obs::Histogram,
+    timeout_derived: obs::Counter,
+    timeout_fixed: obs::Counter,
 }
 
 impl EngineObs {
@@ -294,6 +428,13 @@ impl EngineObs {
             ns_quarantined: reg.counter("probe_ns_quarantined", Sim),
             ns_released: reg.counter("probe_ns_released", Sim),
             attempts: reg.histogram("probe_attempts", Sim, &[1, 2, 3, 4, 6, 8]),
+            rtt_us: reg.histogram(
+                "probe_rtt_us",
+                Sim,
+                &[25_000, 50_000, 100_000, 150_000, 200_000, 400_000],
+            ),
+            timeout_derived: reg.counter("probe_timeout_derived", Sim),
+            timeout_fixed: reg.counter("probe_timeout_fixed", Sim),
             hub,
         }
     }
@@ -334,6 +475,24 @@ impl ProbeEngine {
     /// stub-default timeout, breaker off.
     pub fn single_shot() -> Self {
         ProbeEngine::new(QueryPlan::single_shot())
+    }
+
+    /// Timeout for the next attempt against `server`: the RTT-derived value
+    /// when the plan is adaptive and a sample exists, the fixed plan
+    /// timeout otherwise. Counts which branch fired into the obs registry.
+    fn attempt_timeout(&self, server: Ipv4Addr) -> SimDuration {
+        if self.plan.adaptive {
+            if let Some(est) = self.health.rtt_estimate(server) {
+                if let Some(o) = &self.obs {
+                    o.timeout_derived.inc();
+                }
+                return self.plan.derived_timeout(&est);
+            }
+        }
+        if let Some(o) = &self.obs {
+            o.timeout_fixed.inc();
+        }
+        self.plan.timeout
     }
 
     /// Key identifying a probe for backoff jitter purposes.
@@ -383,6 +542,9 @@ impl ProbeEngine {
         }
         let key = Self::probe_key(server_ip, qname, qtype, qid);
         let attempts = self.plan.attempts.max(1);
+        // The estimate cannot change mid-probe (a success returns at once),
+        // so one derivation covers every attempt of this probe.
+        let timeout = self.attempt_timeout(server_ip);
         for attempt in 1..=attempts {
             if attempt > 1 {
                 // Deterministic backoff on the virtual clock; a late reply
@@ -397,16 +559,27 @@ impl ProbeEngine {
                     o.backoff_wait_us.add(wait.as_micros());
                 }
             }
+            let sent_at = net.now();
             if let Some(resp) = authdns::dns_query_with_timeout(
-                net,
-                client_ip,
-                server_ip,
-                qname,
-                qtype,
-                qid,
-                self.plan.timeout,
+                net, client_ip, server_ip, qname, qtype, qid, timeout,
             ) {
+                if resp.flags.recursion_available {
+                    // Recursive responders resolve on their own clock;
+                    // their service times poison the estimator (and a
+                    // derived timeout would cut off slow-but-coming
+                    // answers), so they stay on the fixed plan timeout.
+                    self.health.note_recursive(server_ip);
+                }
                 if attempt == 1 {
+                    if !resp.flags.recursion_available {
+                        // Karn's rule: only an answer to the first
+                        // transmission is an unambiguous RTT sample.
+                        let rtt = net.now().since(sent_at);
+                        self.health.observe_rtt(server_ip, rtt);
+                        if let Some(o) = &self.obs {
+                            o.rtt_us.observe(rtt.as_micros());
+                        }
+                    }
                     self.coverage.answered += 1;
                 } else {
                     self.coverage.retried_answered += 1;
@@ -453,6 +626,11 @@ impl ProbeEngine {
     /// Single-attempt health probe against a quarantined server: an answer
     /// releases it, a timeout restarts the cooldown window. Lands in the
     /// `answered` or `gave_up` bucket like any other probe.
+    ///
+    /// Uses the per-server derived timeout, not the fixed plan timeout: a
+    /// quarantined-but-recovered fast server should be released after one
+    /// short wait, and a dead one should cost the scan milliseconds, not
+    /// the full 5 s, per cooldown window.
     fn health_probe(
         &mut self,
         net: &mut Network,
@@ -462,15 +640,20 @@ impl ProbeEngine {
         qtype: RecordType,
         qid: u16,
     ) -> Option<Message> {
-        if let Some(resp) = authdns::dns_query_with_timeout(
-            net,
-            client_ip,
-            server_ip,
-            qname,
-            qtype,
-            qid,
-            self.plan.timeout,
-        ) {
+        let timeout = self.attempt_timeout(server_ip);
+        let sent_at = net.now();
+        if let Some(resp) =
+            authdns::dns_query_with_timeout(net, client_ip, server_ip, qname, qtype, qid, timeout)
+        {
+            if resp.flags.recursion_available {
+                self.health.note_recursive(server_ip);
+            } else {
+                let rtt = net.now().since(sent_at);
+                self.health.observe_rtt(server_ip, rtt);
+                if let Some(o) = &self.obs {
+                    o.rtt_us.observe(rtt.as_micros());
+                }
+            }
             self.coverage.answered += 1;
             self.health.release(server_ip);
             if let Some(o) = &self.obs {
@@ -848,6 +1031,114 @@ mod tests {
         assert_eq!(traffic(&net), before, "skip sends nothing");
         assert_eq!(engine.coverage.skipped_quarantined, 2);
         assert_eq!(engine.coverage.gave_up, 2);
+        assert!(engine.coverage.is_complete());
+    }
+
+    #[test]
+    fn rtt_estimator_follows_jacobson() {
+        let mut e = RttEstimate::first(SimDuration::from_micros(100_000));
+        assert_eq!(e.srtt_us, 100_000);
+        assert_eq!(e.rttvar_us, 50_000);
+        assert_eq!(e.samples, 1);
+        e.update(SimDuration::from_micros(100_000));
+        // Zero error: rttvar decays by 3/4, srtt holds.
+        assert_eq!(e.srtt_us, 100_000);
+        assert_eq!(e.rttvar_us, 37_500);
+        assert_eq!(e.samples, 2);
+        e.update(SimDuration::from_micros(180_000));
+        // err = 80_000: rttvar = (3·37_500 + 80_000)/4, srtt = (7·100_000 + 180_000)/8.
+        assert_eq!(e.rttvar_us, 48_125);
+        assert_eq!(e.srtt_us, 110_000);
+    }
+
+    #[test]
+    fn derived_timeout_clamps_to_floor_and_ceiling() {
+        let plan = QueryPlan::default().adaptive();
+        let fast = RttEstimate {
+            srtt_us: 1_000,
+            rttvar_us: 100,
+            samples: 9,
+        };
+        assert_eq!(plan.derived_timeout(&fast), plan.min_timeout);
+        let slow = RttEstimate {
+            srtt_us: 90_000_000,
+            rttvar_us: 0,
+            samples: 9,
+        };
+        assert_eq!(plan.derived_timeout(&slow), plan.timeout);
+        let mid = RttEstimate {
+            srtt_us: 400_000,
+            rttvar_us: 50_000,
+            samples: 9,
+        };
+        // 400_000 + 4·50_000 sits between the floor and the ceiling.
+        assert_eq!(
+            plan.derived_timeout(&mid),
+            SimDuration::from_micros(600_000)
+        );
+    }
+
+    #[test]
+    fn engine_samples_rtt_on_first_attempt_success() {
+        let mut engine = ProbeEngine::new(QueryPlan::default());
+        let mut net = Network::new(11);
+        let server = ip(9);
+        net.add_node(server, Box::new(Responder));
+        let qname: Name = "probe.example".parse().unwrap();
+        assert!(engine.health.rtt_estimate(server).is_none());
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 1)
+            .is_some());
+        let est = engine.health.rtt_estimate(server).expect("one sample");
+        assert_eq!(est.samples, 1);
+        assert!(est.srtt_us > 0, "virtual clock advanced during the rpc");
+    }
+
+    #[test]
+    fn adaptive_health_probe_uses_derived_timeout() {
+        use simnet::FaultPlan;
+        // Regression for the quarantine-release probe inheriting the fixed
+        // 5 s timeout: under heterogeneous latency a recovered server's
+        // health probe must wait only the per-server derived timeout.
+        let mut engine = ProbeEngine::new(
+            QueryPlan::with_attempts(1)
+                .quarantine_after(1)
+                .cooldown_after(1)
+                .adaptive(),
+        );
+        let mut net = Network::new(7);
+        let server = ip(9);
+        net.add_node(server, Box::new(Responder));
+        let qname: Name = "probe.example".parse().unwrap();
+        // Warm-up success seeds the estimate for this (heterogeneous,
+        // per-pair) latency.
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 1)
+            .is_some());
+        let est = engine.health.rtt_estimate(server).expect("sampled");
+        let derived = engine.plan.derived_timeout(&est);
+        assert!(derived < engine.plan.timeout);
+        // Outage trips the breaker (a failure adds no RTT sample, so the
+        // derived timeout is unchanged).
+        net.set_faults(FaultPlan::lossy(1.0));
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 2)
+            .is_none());
+        assert!(engine.health.is_quarantined(server));
+        // cooldown_after(1): the next probe is already the health probe.
+        // It fails, and the virtual time it burns is exactly the derived
+        // timeout — not the fixed 5 s.
+        let before = net.now();
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 3)
+            .is_none());
+        assert_eq!(net.now().since(before), derived);
+        // Server recovers; the next health probe releases it.
+        net.set_faults(FaultPlan::reliable());
+        assert!(engine
+            .query(&mut net, ip(8), server, &qname, RecordType::A, 4)
+            .is_some());
+        assert!(!engine.health.is_quarantined(server));
         assert!(engine.coverage.is_complete());
     }
 

@@ -1,6 +1,13 @@
 //! Ethics-mode query scheduling (paper Appendix A): randomized query
 //! order and a per-server minimum interval, so no nameserver sees more
 //! than one probe per spacing window on average.
+//!
+//! Pacing is built on [`TokenBucket`]s running on the virtual clock: one
+//! bucket per server (burst 1, so admissions to a server are never closer
+//! than the interval) plus an optional global bucket capping the whole
+//! scanner's aggregate probe rate (`--rate-limit`). With burst 1 the
+//! bucket is bit-equivalent to the old `next_allowed` map, so enabling
+//! the refactor changes no schedule.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,24 +19,114 @@ use std::net::Ipv4Addr;
 /// 130 seconds while interleaving across servers.
 pub const PAPER_PER_SERVER_INTERVAL: SimDuration = SimDuration(130_000_000);
 
+/// Deterministic token bucket on the virtual clock.
+///
+/// Tokens accrue one per `interval`; an admission spends one. `burst`
+/// bounds how many may be banked, so an idle period can never be repaid
+/// with a flood larger than the burst. All arithmetic is integer
+/// microseconds: the refill schedule is exact, not drifting.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    interval: SimDuration,
+    burst: u64,
+    tokens: u64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket: `burst` tokens available immediately (minimum 1).
+    pub fn new(interval: SimDuration, burst: u64) -> Self {
+        let burst = burst.max(1);
+        TokenBucket {
+            interval,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// The refill interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Accrue whole tokens earned up to `now`. `last_refill` only advances
+    /// by whole intervals (or snaps to `now` when the bucket tops out), so
+    /// fractional credit is never lost or double-counted.
+    fn refill(&mut self, now: SimTime) {
+        if self.interval == SimDuration::ZERO {
+            self.tokens = self.burst;
+            self.last_refill = now;
+            return;
+        }
+        if now < self.last_refill {
+            return;
+        }
+        let earned = now.since(self.last_refill).as_micros() / self.interval.as_micros();
+        if self.tokens.saturating_add(earned) >= self.burst {
+            self.tokens = self.burst;
+            self.last_refill = now;
+        } else {
+            self.tokens += earned;
+            self.last_refill += SimDuration::from_micros(earned * self.interval.as_micros());
+        }
+    }
+
+    /// Earliest time at or after `now` when one token is available.
+    pub fn next_ready(&mut self, now: SimTime) -> SimTime {
+        self.refill(now);
+        if self.tokens > 0 {
+            now
+        } else {
+            self.last_refill + self.interval
+        }
+    }
+
+    /// Spend one token. Callers admit at a time returned by
+    /// [`TokenBucket::next_ready`], so a token is always available.
+    pub fn take(&mut self, now: SimTime) {
+        self.refill(now);
+        debug_assert!(self.tokens > 0, "take() before next_ready()");
+        self.tokens = self.tokens.saturating_sub(1);
+    }
+}
+
 /// Randomizes task order and enforces per-server spacing in simulated time.
 #[derive(Debug)]
 pub struct QueryScheduler {
     interval: SimDuration,
-    next_allowed: HashMap<Ipv4Addr, SimTime>,
+    buckets: HashMap<Ipv4Addr, TokenBucket>,
+    global: Option<TokenBucket>,
+    global_interval: SimDuration,
     rng: StdRng,
     waits: u64,
+    wait_us: u64,
 }
 
 impl QueryScheduler {
-    /// A scheduler with the given per-server interval.
+    /// A scheduler with the given per-server interval and no global cap.
     pub fn new(seed: u64, interval: SimDuration) -> Self {
         QueryScheduler {
             interval,
-            next_allowed: HashMap::new(),
+            buckets: HashMap::new(),
+            global: None,
+            global_interval: SimDuration::ZERO,
             rng: StdRng::seed_from_u64(seed),
             waits: 0,
+            wait_us: 0,
         }
+    }
+
+    /// Add a global rate cap: at most one probe (to any server) per
+    /// `interval` of simulated time. `ZERO` removes the cap.
+    pub fn with_global_interval(mut self, interval: SimDuration) -> Self {
+        self.global_interval = interval;
+        self.global = if interval == SimDuration::ZERO {
+            None
+        } else {
+            Some(TokenBucket::new(interval, 1))
+        };
+        self
     }
 
     /// Shuffle the task list into the randomized probe order.
@@ -43,23 +140,47 @@ impl QueryScheduler {
         self.interval
     }
 
-    /// Block (in simulated time) until `server` may be queried again, then
-    /// reserve the next slot.
+    /// The global rate-cap interval (`ZERO` when uncapped). Shard workers
+    /// replicate it alongside the per-server interval.
+    pub fn global_interval(&self) -> SimDuration {
+        self.global_interval
+    }
+
+    /// Block (in simulated time) until `server` may be queried again —
+    /// respecting both the per-server bucket and the global cap — then
+    /// spend a token from each.
     pub fn admit(&mut self, net: &mut Network, server: Ipv4Addr) {
         let now = net.now();
-        if let Some(&at) = self.next_allowed.get(&server) {
-            if at > now {
-                net.run_until(at);
-                self.waits += 1;
-            }
+        let mut ready = self
+            .buckets
+            .entry(server)
+            .or_insert_with(|| TokenBucket::new(self.interval, 1))
+            .next_ready(now);
+        if let Some(g) = &mut self.global {
+            ready = ready.max(g.next_ready(now));
         }
-        let t = net.now() + self.interval;
-        self.next_allowed.insert(server, t);
+        if ready > now {
+            net.run_until(ready);
+            self.waits += 1;
+            self.wait_us += ready.since(now).as_micros();
+        }
+        let t = net.now();
+        if let Some(b) = self.buckets.get_mut(&server) {
+            b.take(t);
+        }
+        if let Some(g) = &mut self.global {
+            g.take(t);
+        }
     }
 
     /// How often the scheduler actually had to wait.
     pub fn waits(&self) -> u64 {
         self.waits
+    }
+
+    /// Total simulated time spent waiting on bucket refills, in µs.
+    pub fn wait_us(&self) -> u64 {
+        self.wait_us
     }
 }
 
@@ -82,6 +203,7 @@ mod tests {
         sched.admit(&mut net, a);
         assert!(net.now() >= t0 + SimDuration::from_secs(130));
         assert_eq!(sched.waits(), 1);
+        assert!(sched.wait_us() >= SimDuration::from_secs(130).as_micros());
     }
 
     #[test]
@@ -105,5 +227,57 @@ mod tests {
             sched.admit(&mut net, a);
         }
         assert_eq!(sched.waits(), 0);
+        assert_eq!(sched.wait_us(), 0);
+    }
+
+    #[test]
+    fn bucket_burst_one_matches_next_allowed_semantics() {
+        // The three cases the old `next_allowed` map handled: first admit
+        // (free), early arrival (wait to last + interval), late arrival
+        // (free, next slot anchored at arrival).
+        let i = SimDuration::from_micros(1_000);
+        let mut b = TokenBucket::new(i, 1);
+        let t0 = SimTime(5);
+        assert_eq!(b.next_ready(t0), t0);
+        b.take(t0);
+        // Early: ready exactly at t0 + interval.
+        let t1 = SimTime(200);
+        assert_eq!(b.next_ready(t1), t0 + i);
+        b.take(t0 + i);
+        // Late: immediately ready, no banked credit beyond burst.
+        let t2 = SimTime(50_000);
+        assert_eq!(b.next_ready(t2), t2);
+        b.take(t2);
+        assert_eq!(b.next_ready(t2), t2 + i);
+    }
+
+    #[test]
+    fn bucket_burst_caps_banked_tokens() {
+        let i = SimDuration::from_micros(100);
+        let mut b = TokenBucket::new(i, 3);
+        let t = SimTime(1_000_000); // long idle: still only 3 tokens
+        for _ in 0..3 {
+            assert_eq!(b.next_ready(t), t);
+            b.take(t);
+        }
+        assert_eq!(b.next_ready(t), t + i);
+    }
+
+    #[test]
+    fn global_cap_spaces_probes_across_servers() {
+        let mut net = Network::new(1);
+        let g = SimDuration::from_millis(50);
+        let mut sched = QueryScheduler::new(1, SimDuration::ZERO).with_global_interval(g);
+        assert_eq!(sched.global_interval(), g);
+        let mut last: Option<SimTime> = None;
+        for k in 0..6u8 {
+            // Distinct servers: only the global bucket can force a wait.
+            sched.admit(&mut net, Ipv4Addr::new(9, 9, 9, k));
+            if let Some(prev) = last {
+                assert!(net.now().since(prev) >= g, "global spacing violated");
+            }
+            last = Some(net.now());
+        }
+        assert_eq!(sched.waits(), 5);
     }
 }

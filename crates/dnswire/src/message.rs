@@ -169,8 +169,24 @@ impl Message {
         self.answers.iter().filter(move |r| r.rtype() == rtype)
     }
 
-    /// Serialize to wire format with name compression.
+    /// Serialize to wire format with name compression. The buffer comes
+    /// from this thread's [`crate::bufpool`]; return it with
+    /// [`crate::bufpool::release`] once the bytes are consumed to keep the
+    /// hot path allocation-free.
     pub fn encode(&self) -> WireResult<Vec<u8>> {
+        let mut buf = crate::bufpool::acquire();
+        match self.encode_into(&mut buf) {
+            Ok(()) => Ok(buf),
+            Err(e) => {
+                crate::bufpool::release(buf);
+                Err(e)
+            }
+        }
+    }
+
+    /// Serialize into a caller-supplied buffer (cleared first), avoiding
+    /// any allocation when the buffer's capacity already fits the message.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> WireResult<()> {
         for (count, what) in [
             (self.questions.len(), "question"),
             (self.answers.len(), "answer"),
@@ -185,7 +201,7 @@ impl Message {
                 });
             }
         }
-        let mut buf = Vec::with_capacity(128);
+        buf.clear();
         buf.extend_from_slice(&self.id.to_be_bytes());
         buf.extend_from_slice(&self.flags.to_u16().to_be_bytes());
         buf.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
@@ -194,7 +210,7 @@ impl Message {
         buf.extend_from_slice(&(self.additionals.len() as u16).to_be_bytes());
         let mut offsets = CompressionMap::new();
         for q in &self.questions {
-            q.encode(&mut buf, &mut offsets);
+            q.encode(buf, &mut offsets);
         }
         for r in self
             .answers
@@ -202,12 +218,12 @@ impl Message {
             .chain(&self.authorities)
             .chain(&self.additionals)
         {
-            r.encode(&mut buf, &mut offsets);
+            r.encode(buf, &mut offsets);
         }
         if buf.len() > MAX_MESSAGE_LEN {
             return Err(WireError::MessageTooLong(buf.len()));
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Parse from wire format. Rejects trailing garbage and section-count

@@ -160,6 +160,9 @@ pub struct Network {
     stats: NetStats,
     obs: Option<FabricMetrics>,
     seq: u64,
+    /// Hook returning consumed datagram payloads to the caller's buffer
+    /// pool (see [`Network::set_payload_recycler`]).
+    payload_recycler: Option<fn(Vec<u8>)>,
 }
 
 impl Network {
@@ -180,6 +183,25 @@ impl Network {
             stats: NetStats::default(),
             obs: None,
             seq: 0,
+            payload_recycler: None,
+        }
+    }
+
+    /// Install (or remove, with `None`) a payload recycler: a plain
+    /// function the fabric calls with every payload buffer it has finished
+    /// with — dropped datagrams, payloads already handed to a node, stale
+    /// inbox entries. Callers pass their buffer pool's release function
+    /// (e.g. `dnswire::bufpool::release`); a `fn` pointer keeps simnet free
+    /// of any dependency on the pool's crate. Recycling only changes where
+    /// freed buffers go, never the bytes in flight, so it is invisible to
+    /// traces, stats and the deterministic fingerprint.
+    pub fn set_payload_recycler(&mut self, recycler: Option<fn(Vec<u8>)>) {
+        self.payload_recycler = recycler;
+    }
+
+    fn recycle(&self, payload: Vec<u8>) {
+        if let Some(f) = self.payload_recycler {
+            f(payload);
         }
     }
 
@@ -328,6 +350,7 @@ impl Network {
                 if let Some(m) = &self.obs {
                     m.dropped.inc();
                 }
+                self.recycle(dgram.payload);
             }
             FaultDecision::Deliver { corrupt, duplicate } => {
                 let delay = extra_delay + self.latency.delay(dgram.src.ip, dgram.dst.ip);
@@ -441,8 +464,11 @@ impl Network {
                     let mut out = Actions::default();
                     node.handle(self.now, &dgram, &mut out);
                     self.apply_actions(out, dgram.dst.ip);
+                    self.recycle(dgram.payload);
                 } else if let Some(inbox) = self.external.get_mut(&dgram.dst.ip) {
                     inbox.push(dgram);
+                } else {
+                    self.recycle(dgram.payload);
                 }
             }
             EventKind::Timer { node, token } => {
@@ -490,7 +516,9 @@ impl Network {
             self.register_external(src.ip);
         }
         // Drain any stale datagrams from previous exchanges.
-        self.take_inbox(src.ip);
+        for stale in self.take_inbox(src.ip) {
+            self.recycle(stale.payload);
+        }
         let deadline = self.now + timeout;
         self.send(Datagram {
             src,
@@ -508,9 +536,16 @@ impl Network {
             };
             let _ = next_at;
             self.step();
-            let replies = self.take_inbox(src.ip);
-            if let Some(r) = replies.into_iter().find(|d| d.dst == src) {
-                return Some(r.payload);
+            let mut reply: Option<Vec<u8>> = None;
+            for d in self.take_inbox(src.ip) {
+                if reply.is_none() && d.dst == src {
+                    reply = Some(d.payload);
+                } else {
+                    self.recycle(d.payload);
+                }
+            }
+            if reply.is_some() {
+                return reply;
             }
         }
     }

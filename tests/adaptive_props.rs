@@ -1,0 +1,180 @@
+//! Property tests for the adaptive scheduling layer's four contracts:
+//!
+//! * the RTT estimator is a pure function of its sample sequence — two
+//!   estimators fed the same samples agree bit for bit, and the update is
+//!   exactly the Jacobson/Karels integer recurrence;
+//! * the derived timeout is monotone in the variance estimate and always
+//!   clamped into `[min(min_timeout, timeout), timeout]`;
+//! * a token bucket with burst 1 never admits two probes to one server
+//!   closer together than its interval, no matter how arrivals cluster;
+//! * RTT-ordered selection emits a permutation of its task list and never
+//!   reorders two tasks bound for the same server, no matter how the
+//!   health estimates shift mid-drain.
+
+use proptest::prelude::*;
+use simnet::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use urhunter::{NsHealth, QueryPlan, RttEstimate, RttSelector, TokenBucket};
+
+fn server(i: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 50, 0, i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimator_is_deterministic_and_jacobson(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..64),
+    ) {
+        // Two estimators fed the same sequence agree exactly.
+        let feed = |samples: &[u64]| -> RttEstimate {
+            let mut est = RttEstimate::first(SimDuration::from_micros(samples[0]));
+            for &us in &samples[1..] {
+                est.update(SimDuration::from_micros(us));
+            }
+            est
+        };
+        let a = feed(&samples);
+        let b = feed(&samples);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.samples, samples.len() as u64);
+
+        // And the state is exactly the integer recurrence, replayed here
+        // independently: srtt = (7*srtt + rtt) / 8, rttvar =
+        // (3*rttvar + |srtt - rtt|) / 4, seeded srtt = s0, rttvar = s0/2.
+        let mut srtt = samples[0];
+        let mut rttvar = samples[0] / 2;
+        for &us in &samples[1..] {
+            rttvar = (3 * rttvar + srtt.abs_diff(us)) / 4;
+            srtt = (7 * srtt + us) / 8;
+        }
+        prop_assert_eq!(a.srtt_us, srtt);
+        prop_assert_eq!(a.rttvar_us, rttvar);
+    }
+
+    #[test]
+    fn derived_timeout_is_clamped_and_monotone_in_variance(
+        srtt_us in 0u64..20_000_000,
+        rttvar_lo in 0u64..10_000_000,
+        var_step in 0u64..10_000_000,
+        timeout_ms in 1u64..30_000,
+        min_timeout_ms in 0u64..40_000,
+        k in 1u32..16,
+    ) {
+        let plan = QueryPlan::default()
+            .adaptive()
+            .rtt_k(k)
+            .timeout(SimDuration::from_millis(timeout_ms))
+            .min_timeout(SimDuration::from_millis(min_timeout_ms));
+        let floor = plan.min_timeout.min(plan.timeout);
+        let derived = |rttvar_us: u64| {
+            plan.derived_timeout(&RttEstimate { srtt_us, rttvar_us, samples: 1 })
+        };
+        let lo = derived(rttvar_lo);
+        let hi = derived(rttvar_lo.saturating_add(var_step));
+        for d in [lo, hi] {
+            prop_assert!(d >= floor, "derived {:?} under floor {:?}", d, floor);
+            prop_assert!(d <= plan.timeout, "derived {:?} over plan timeout", d);
+        }
+        // More variance can only lengthen (or saturate) the timeout.
+        prop_assert!(hi >= lo, "rttvar +{} shrank the timeout", var_step);
+    }
+
+    #[test]
+    fn token_bucket_spaces_admissions_by_at_least_the_interval(
+        interval_us in 1u64..5_000_000,
+        gaps in proptest::collection::vec(0u64..10_000_000, 1..128),
+    ) {
+        // Arrivals at arbitrary (monotone) times; each waits for the
+        // bucket like `QueryScheduler::admit` does. No two admissions may
+        // land closer together than the interval, and waiting never
+        // reorders: each admission is at or after its arrival.
+        let mut bucket = TokenBucket::new(SimDuration::from_micros(interval_us), 1);
+        let mut now = SimTime::ZERO;
+        let mut admitted: Vec<SimTime> = Vec::with_capacity(gaps.len());
+        for gap in gaps {
+            now += SimDuration::from_micros(gap);
+            let at = bucket.next_ready(now).max(now);
+            bucket.take(at);
+            prop_assert!(at >= now, "admission before arrival");
+            admitted.push(at);
+        }
+        for pair in admitted.windows(2) {
+            let spacing = pair[1].since(pair[0]);
+            prop_assert!(
+                spacing >= SimDuration::from_micros(interval_us),
+                "admissions {:?} apart, interval {}us",
+                spacing,
+                interval_us
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_selection_is_a_per_server_order_preserving_permutation(
+        server_of_task in proptest::collection::vec(0u8..12, 1..256),
+        seed in any::<u64>(),
+        rtt_updates in proptest::collection::vec((0u8..12, 1u64..1_000_000), 0..64),
+    ) {
+        // Tasks carry their global index so the multiset check is exact.
+        let tasks: Vec<(usize, Ipv4Addr)> = server_of_task
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i, server(s)))
+            .collect();
+        let mut sel = RttSelector::new(seed, tasks.clone(), |t: &(usize, Ipv4Addr)| t.1);
+        let mut health = NsHealth::new();
+        let mut updates = rtt_updates.into_iter();
+        let mut drained: Vec<(usize, Ipv4Addr)> = Vec::with_capacity(tasks.len());
+        while let Some(task) = sel.next(&health) {
+            drained.push(task);
+            // Shift the estimates mid-drain the way live probing would;
+            // the permutation and per-server FIFO contracts must survive
+            // any interleaving of estimate updates.
+            if let Some((s, us)) = updates.next() {
+                health.observe_rtt(server(s), SimDuration::from_micros(us));
+            }
+        }
+        prop_assert_eq!(drained.len(), tasks.len());
+        let mut sorted = drained.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &tasks);
+        // Same-server tasks come out in their submission order.
+        for srv in server_of_task.iter().map(|&s| server(s)) {
+            let order: Vec<usize> = drained
+                .iter()
+                .filter(|t| t.1 == srv)
+                .map(|t| t.0)
+                .collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "server {} saw its probes reordered: {:?}",
+                srv,
+                order
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_selection_is_deterministic_for_a_seed(
+        server_of_task in proptest::collection::vec(0u8..8, 1..128),
+        seed in any::<u64>(),
+    ) {
+        let tasks: Vec<(usize, Ipv4Addr)> = server_of_task
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i, server(s)))
+            .collect();
+        let drain = || -> Vec<(usize, Ipv4Addr)> {
+            let mut sel = RttSelector::new(seed, tasks.clone(), |t: &(usize, Ipv4Addr)| t.1);
+            let health = NsHealth::new();
+            let mut out = Vec::with_capacity(tasks.len());
+            while let Some(task) = sel.next(&health) {
+                out.push(task);
+            }
+            out
+        };
+        prop_assert_eq!(drain(), drain());
+    }
+}

@@ -181,6 +181,43 @@ fn batch_and_stream_see_identical_coverage_under_loss() {
 }
 
 #[test]
+fn adaptive_timeouts_never_trade_recall_for_speed_under_loss() {
+    // RTT-derived timeouts change how long a lost attempt costs, not
+    // whether it is retried: at every drop rate the adaptive run must
+    // reproduce the fixed run probe for probe (same classified hash, same
+    // coverage buckets, so recall and give-ups are exactly equal) while
+    // spending strictly less simulated time whenever loss makes the fixed
+    // policy wait out its full timeout.
+    for drop in [0.0, 0.01, 0.05] {
+        let fixed = run_with(lossy_cfg(drop, 3, 0, 1));
+        let adaptive = run_with(lossy_cfg(drop, 3, 0, 1).with_adaptive());
+        let label = format!("drop={drop}");
+        assert_accounted(&adaptive, &label);
+        assert_eq!(
+            signature(&adaptive),
+            signature(&fixed),
+            "{label}: adaptive diverged from fixed"
+        );
+        assert_eq!(
+            adaptive.coverage, fixed.coverage,
+            "{label}: adaptive moved the probe accounting"
+        );
+        assert!(
+            adaptive.coverage.total_gave_up() <= fixed.coverage.total_gave_up(),
+            "{label}: adaptive gave up more probes"
+        );
+        if drop > 0.0 {
+            assert!(
+                adaptive.scan_elapsed < fixed.scan_elapsed,
+                "{label}: adaptive lost to fixed in simulated time ({:?} vs {:?})",
+                adaptive.scan_elapsed,
+                fixed.scan_elapsed
+            );
+        }
+    }
+}
+
+#[test]
 fn heavy_loss_quarantines_nothing_on_healthy_servers() {
     // 20% drop with one attempt fails ~36% of probes, but failures are
     // spread across servers; the consecutive-failure breaker must not
@@ -196,10 +233,11 @@ fn heavy_loss_quarantines_nothing_on_healthy_servers() {
 }
 
 /// The full matrix from the issue: drop {0, 0.01, 0.05, 0.2} × attempts
-/// {1, 3, 5} × {batch, streaming at parallelism 4}. Expensive (24 full
-/// pipeline runs), so ignored by default; ci.sh runs it in release.
+/// {1, 3, 5} × {batch, streaming at parallelism 4}, plus an adaptive twin
+/// of every default-budget cell. Expensive (32 full pipeline runs), so
+/// ignored by default; ci.sh runs it in release.
 #[test]
-#[ignore = "24 full pipeline runs; ci.sh executes this in release"]
+#[ignore = "32 full pipeline runs; ci.sh executes this in release"]
 fn full_fault_matrix() {
     let reliable = run_with(HunterConfig::fast());
     let sig = signature(&reliable);
@@ -221,6 +259,23 @@ fn full_fault_matrix() {
                     // (already asserted) and the run still classifies what
                     // it did collect.
                     assert!(out.report.totals.total > 0, "{label}: collected nothing");
+                }
+                // Adaptive rows at the default retry budget: the derived
+                // timeouts must reproduce the fixed cell exactly.
+                if attempts == 3 {
+                    let adaptive = run_with(
+                        lossy_cfg(drop, attempts, stream_batch, parallelism).with_adaptive(),
+                    );
+                    assert_accounted(&adaptive, &format!("{label} adaptive"));
+                    assert_eq!(
+                        signature(&adaptive),
+                        signature(&out),
+                        "{label}: adaptive cell diverged from fixed"
+                    );
+                    assert_eq!(
+                        adaptive.coverage, out.coverage,
+                        "{label}: adaptive cell moved the accounting"
+                    );
                 }
             }
         }
