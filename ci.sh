@@ -51,6 +51,60 @@ grep -q '"name":"probe_scheduled"' "$METRICS_OUT" || {
 }
 rm -f "$METRICS_OUT"
 
+echo "== smoke: urhunter --metrics-out (Prometheus via .prom) =="
+# Same run, Prometheus extension: the CLI must route through the shared
+# exporter and emit valid exposition text.
+PROM_OUT=$(mktemp /tmp/urhunter-metrics.XXXXXX.prom)
+cargo run --release -q -p urhunter --bin urhunter -- --metrics-out "$PROM_OUT" >/dev/null
+grep -q '^# TYPE probe_scheduled counter$' "$PROM_OUT" || {
+    echo "ci.sh: .prom export is missing the Prometheus TYPE line" >&2
+    exit 1
+}
+grep -q '^probe_scheduled{class="sim"} ' "$PROM_OUT" || {
+    echo "ci.sh: .prom export is missing the probe funnel series" >&2
+    exit 1
+}
+rm -f "$PROM_OUT"
+
+echo "== daemon smoke: urhunterd serves and shuts down cleanly =="
+# Start the daemon against the small world on a kernel-assigned port,
+# capped at one epoch; the quickstart client polls /healthz, queries
+# /deltas and /verdict, cross-checks /metrics against /coverage, and
+# requests shutdown. The daemon must then exit 0 on its own.
+DAEMON_LOG=$(mktemp /tmp/urhunterd.XXXXXX.log)
+./target/release/urhunterd --listen 127.0.0.1:0 --max-epochs 1 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+DAEMON_ADDR=""
+for _ in $(seq 1 100); do
+    DAEMON_ADDR=$(sed -n 's|^urhunterd: listening on http://||p' "$DAEMON_LOG")
+    [ -n "$DAEMON_ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+test -n "$DAEMON_ADDR" || {
+    echo "ci.sh: urhunterd never announced its listen address" >&2
+    cat "$DAEMON_LOG" >&2
+    kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+}
+cargo run --release -q -p urhunterd --example daemon_quickstart -- "$DAEMON_ADDR" --shutdown || {
+    echo "ci.sh: daemon quickstart client failed against $DAEMON_ADDR" >&2
+    cat "$DAEMON_LOG" >&2
+    kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+}
+wait "$DAEMON_PID" || {
+    echo "ci.sh: urhunterd exited non-zero after /shutdown" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+}
+grep -q 'shut down after' "$DAEMON_LOG" || {
+    echo "ci.sh: urhunterd did not report a clean shutdown" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+}
+rm -f "$DAEMON_LOG"
+
 echo "== shard matrix: urhunter --shards 1 vs --shards 4 =="
 # The sharded scan must be invisible in the output: the full table1
 # rendering (per-provider verdict counts) has to match bit for bit
@@ -112,5 +166,16 @@ grep -q '"gave_up": 0,' BENCH_pipeline.json || {
     echo "ci.sh: reliable perf_snapshot run gave up probes" >&2
     exit 1
 }
+
+echo "== smoke: cargo run -p bench --bin daemon_bench (merges daemon block) =="
+# daemon_bench gates publish latency and verdict-query throughput
+# in-process, then merges its block into the file perf_snapshot wrote.
+cargo run --release -p bench --bin daemon_bench
+for field in '"daemon"' '"publish_ms_max"' '"verdict_qps"' '"replay_ok": true'; do
+    grep -q "$field" BENCH_pipeline.json || {
+        echo "ci.sh: BENCH_pipeline.json is missing $field" >&2
+        exit 1
+    }
+done
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,142 @@
+//! Daemon overhead snapshot: what does event sourcing cost on top of the
+//! scans the daemon would run anyway?
+//!
+//! Drives three drifting epochs over the medium world through the real
+//! [`urhunterd::EpochDriver`], measuring the two daemon-added costs —
+//! delta publication (diff + event apply + seal per epoch) and verdict
+//! queries against the populated store — plus a full log replay check.
+//! Results are merged into `BENCH_pipeline.json` as a `"daemon"` block
+//! (run `perf_snapshot` first; this preserves its fields), with gates
+//! asserted in-process so CI fails on regression, not just on drift in
+//! the recorded numbers.
+
+use std::time::Instant;
+use urhunterd::{DriverConfig, EpochDriver, LiveState, WorldScale};
+
+/// Store lookups performed for the throughput figure.
+const VERDICT_QUERIES: usize = 200_000;
+
+/// Publishing an epoch (diff + apply + seal) must stay far cheaper than
+/// the scan that produced it.
+const PUBLISH_MS_GATE: f64 = 2_000.0;
+
+/// Verdict lookups are hash-map reads; anything below this means the
+/// store grew an accidental linear scan.
+const QPS_GATE: f64 = 50_000.0;
+
+fn main() {
+    let mut cfg = DriverConfig::small();
+    cfg.scale = WorldScale::Medium;
+    cfg.drift_days = 120;
+    cfg.new_campaigns = 50;
+    cfg.expire_fraction = 0.3;
+
+    eprintln!("daemon_bench: 3 drifting epochs over the medium world...");
+    let t_world = Instant::now();
+    let mut driver = EpochDriver::new(cfg);
+    let worldgen_ms = t_world.elapsed().as_secs_f64() * 1_000.0;
+
+    let mut state = LiveState::default();
+    let mut scan_ms = Vec::new();
+    let mut publish_ms = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        let scan = driver.scan_epoch();
+        scan_ms.push(t.elapsed().as_secs_f64() * 1_000.0);
+        let t = Instant::now();
+        let summary = driver.publish(scan, &mut state);
+        publish_ms.push(t.elapsed().as_secs_f64() * 1_000.0);
+        eprintln!(
+            "  epoch {}: scan {:.1} ms, publish {:.2} ms ({} events, {} present)",
+            summary.epoch,
+            scan_ms.last().unwrap(),
+            publish_ms.last().unwrap(),
+            summary.observed + summary.changed + summary.gone,
+            summary.seal.present
+        );
+    }
+    let publish_max = publish_ms.iter().cloned().fold(0.0f64, f64::max);
+    let publish_mean = publish_ms.iter().sum::<f64>() / publish_ms.len() as f64;
+    let events_total = state.log.event_count();
+
+    // Verdict-query throughput: cycle through every tracked domain,
+    // resolving the domain index and each key's state — exactly the work
+    // behind one `/verdict/<domain>` answer, minus the socket.
+    let domains: Vec<String> = {
+        let mut d: Vec<String> = state
+            .store
+            .iter()
+            .map(|(k, _)| k.domain.to_string())
+            .collect();
+        d.sort();
+        d.dedup();
+        d
+    };
+    assert!(!domains.is_empty(), "populated store has no domains");
+    let t = Instant::now();
+    let mut records_served = 0usize;
+    for i in 0..VERDICT_QUERIES {
+        let domain = &domains[i % domains.len()];
+        let keys = state.store.domain_keys(domain).expect("indexed domain");
+        for key in keys {
+            records_served += state.store.get(key).is_some() as usize;
+        }
+    }
+    let query_secs = t.elapsed().as_secs_f64();
+    let verdict_qps = VERDICT_QUERIES as f64 / query_secs;
+
+    // Replay the full log and require bit-equality with the live store.
+    let t = Instant::now();
+    let replayed = state
+        .log
+        .verify_replay()
+        .expect("log replays with sealed hashes");
+    let replay_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(replayed.verdict_hash(), state.store.verdict_hash());
+
+    assert!(
+        publish_max <= PUBLISH_MS_GATE,
+        "delta publication regressed: {publish_max:.2} ms > {PUBLISH_MS_GATE} ms"
+    );
+    assert!(
+        verdict_qps >= QPS_GATE,
+        "verdict query throughput regressed: {verdict_qps:.0}/s < {QPS_GATE}/s"
+    );
+
+    eprintln!(
+        "  queries: {VERDICT_QUERIES} in {:.1} ms -> {:.0}/s ({} records served)",
+        query_secs * 1_000.0,
+        verdict_qps,
+        records_served
+    );
+    eprintln!("  replay: {} events in {replay_ms:.2} ms", events_total);
+
+    let block = format!(
+        ",\n  \"daemon\": {{ \"epochs\": 3, \"worldgen_ms\": {worldgen_ms:.2}, \
+         \"scan_ms\": [{:.2}, {:.2}, {:.2}], \
+         \"publish_ms_max\": {publish_max:.3}, \"publish_ms_mean\": {publish_mean:.3}, \
+         \"publish_ms_gate\": {PUBLISH_MS_GATE}, \
+         \"events_total\": {events_total}, \"store_total\": {}, \"store_present\": {}, \
+         \"verdict_queries\": {VERDICT_QUERIES}, \"verdict_qps\": {verdict_qps:.0}, \
+         \"verdict_qps_gate\": {QPS_GATE}, \
+         \"replay_ms\": {replay_ms:.3}, \"replay_ok\": true }}\n}}\n",
+        scan_ms[0],
+        scan_ms[1],
+        scan_ms[2],
+        state.store.len(),
+        state.store.present_len(),
+    );
+
+    // Merge into BENCH_pipeline.json: drop any previous daemon block (or
+    // just the closing brace) and append ours.
+    let path = "BENCH_pipeline.json";
+    let base = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} missing ({e}); run perf_snapshot first"));
+    let cut = base
+        .find(",\n  \"daemon\":")
+        .or_else(|| base.rfind('}'))
+        .expect("BENCH_pipeline.json has no closing brace");
+    let merged = format!("{}{block}", &base[..cut]);
+    std::fs::write(path, merged).expect("write BENCH_pipeline.json");
+    eprintln!("merged daemon block into {path}");
+}

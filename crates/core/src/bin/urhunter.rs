@@ -42,8 +42,14 @@
 //! only — the classified output is bit-identical.
 //!
 //! `--metrics-out FILE` attaches the observability hub to the run, prints
-//! the metrics table, and writes every metric and traced event to FILE as
+//! the metrics table, and writes every metric and traced event to FILE.
+//! The extension picks the format: `.prom`/`.txt` use the Prometheus
+//! exporter (the same one behind the daemon's `/metrics`), anything else
 //! JSON lines (see `crates/obs`).
+//!
+//! `urhunter daemon [FLAGS]` hands off to the resident scanning daemon
+//! `urhunterd` (see `crates/daemon`): re-scan epochs over a drifting
+//! world, an event-sourced verdict log, and an HTTP query API.
 //!
 //! Examples:
 //!   urhunter --report all
@@ -52,6 +58,7 @@
 //!   urhunter --fault-drop 0.05 --retries 5 --timeout 2000
 //!   urhunter --metrics-out metrics.jsonl
 //!   urhunter --extended --payload-match --pcap sandbox.pcap
+//!   urhunter daemon --listen 127.0.0.1:7353 --max-epochs 10
 
 use std::process::ExitCode;
 use urhunter::{audit_table2, evaluate_false_negatives, run, HunterConfig};
@@ -104,8 +111,10 @@ fn usage() -> ! {
          \u{20} latency (output stays bit-identical), --rtt-k N sets the variance\n\
          \u{20} multiplier (default 4, minimum 1), --rate-limit N caps the scan at N\n\
          \u{20} probes per second globally (positive; clamps shards to 1);\n\
-         \u{20} --metrics-out FILE writes the observability\n\
-         \u{20} registry and event trace as JSON lines."
+         \u{20} --metrics-out FILE writes the observability registry and event\n\
+         \u{20} trace (.prom/.txt = Prometheus text, otherwise JSON lines);\n\
+         \u{20} `urhunter daemon [FLAGS]` runs the resident scanning daemon\n\
+         \u{20} (urhunterd --help lists its flags)."
     );
     std::process::exit(2)
 }
@@ -296,7 +305,38 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `urhunter daemon ...`: hand off to the sibling `urhunterd` binary.
+/// The daemon crate depends on this one, so it cannot be linked in
+/// directly; cargo installs both binaries side by side, so look next to
+/// the running executable first and fall back to `$PATH`.
+fn run_daemon(daemon_args: Vec<String>) -> ExitCode {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.join("urhunterd")))
+        .filter(|p| p.is_file());
+    let program = sibling.unwrap_or_else(|| std::path::PathBuf::from("urhunterd"));
+    match std::process::Command::new(&program)
+        .args(&daemon_args)
+        .status()
+    {
+        Ok(status) => match status.code() {
+            Some(code) => ExitCode::from(code.clamp(0, 255) as u8),
+            None => ExitCode::FAILURE,
+        },
+        Err(e) => {
+            eprintln!(
+                "urhunter: cannot launch {} (build it with `cargo build -p urhunterd`): {e}",
+                program.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("daemon") {
+        return run_daemon(std::env::args().skip(2).collect());
+    }
     let args = parse_args();
     if let Some(world) = args.world.as_deref() {
         match world {
@@ -424,8 +464,10 @@ fn main() -> ExitCode {
 
     if let (Some(path), Some(hub)) = (&args.metrics_out, &hub) {
         // Written last so the export reflects the whole process (including
-        // the §4.2 replay when `--report all` ran it).
-        match std::fs::write(path, hub.to_jsonl()) {
+        // the §4.2 replay when `--report all` ran it). The format follows
+        // the extension: `.prom`/`.txt` use the same Prometheus exporter
+        // that backs the daemon's /metrics endpoint, anything else JSONL.
+        match std::fs::write(path, hub.render_for_path(path)) {
             Ok(()) => eprintln!("wrote metrics + events to {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");

@@ -1,0 +1,73 @@
+//! A minimal blocking HTTP GET client for the control plane.
+//!
+//! Used by the quickstart example, the integration tests, and the CI
+//! smoke — anything that needs to ask a running daemon a question
+//! without pulling in an HTTP dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Issue one `GET path` against `addr` and return `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(crate::http::IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(crate::http::IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: urhunterd\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+/// Extract the value of a top-level unsigned-integer field from a flat
+/// JSON object (`"field":123`). Good enough for the control plane's own
+/// output; not a general JSON parser.
+pub fn json_u64_field(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the value of a top-level string field from a flat JSON object
+/// (`"field":"value"`). No unescaping — the caller compares raw text.
+pub fn json_str_field<'a>(body: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":\"");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parse_splits_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "{}");
+        assert!(parse_response("garbage").is_none());
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let body = "{\"epochs_done\":3,\"status\":\"ok\",\"max_epochs\":null}";
+        assert_eq!(json_u64_field(body, "epochs_done"), Some(3));
+        assert_eq!(json_u64_field(body, "max_epochs"), None);
+        assert_eq!(json_str_field(body, "status"), Some("ok"));
+        assert_eq!(json_str_field(body, "absent"), None);
+    }
+}

@@ -83,8 +83,28 @@ impl Obs {
     }
 
     /// Render the current metrics in Prometheus text format.
+    ///
+    /// This is the one Prometheus exporter in the system: the daemon's
+    /// `/metrics` endpoint and the CLI's `--metrics-out file.prom` both
+    /// land here, so scrape output is byte-identical no matter which
+    /// front door served it.
     pub fn to_prometheus(&self) -> String {
         render_prometheus(&self.registry.snapshot())
+    }
+
+    /// Render for an output file path, choosing the format from the
+    /// extension: `.prom` and `.txt` get Prometheus text, everything
+    /// else gets JSONL (metrics then events).
+    pub fn render_for_path(&self, path: &str) -> String {
+        let ext = std::path::Path::new(path)
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("");
+        if ext.eq_ignore_ascii_case("prom") || ext.eq_ignore_ascii_case("txt") {
+            self.to_prometheus()
+        } else {
+            self.to_jsonl()
+        }
     }
 }
 
@@ -107,5 +127,17 @@ mod tests {
         let dbg = format!("{:?}", obs);
         assert!(dbg.contains("Obs"));
         assert!(dbg.len() < 200);
+    }
+
+    #[test]
+    fn path_extension_selects_the_export_format() {
+        let obs = Obs::shared();
+        obs.registry().counter("probe_scheduled", Class::Sim).add(7);
+        for prom_path in ["m.prom", "out/scrape.TXT"] {
+            assert_eq!(obs.render_for_path(prom_path), obs.to_prometheus());
+        }
+        for jsonl_path in ["m.jsonl", "metrics", "m.prom.gz"] {
+            assert_eq!(obs.render_for_path(jsonl_path), obs.to_jsonl());
+        }
     }
 }

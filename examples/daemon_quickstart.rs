@@ -1,0 +1,129 @@
+//! Quickstart client for the `urhunterd` control plane.
+//!
+//! Two modes:
+//!
+//! * `cargo run --example daemon_quickstart` — self-contained demo:
+//!   starts an in-process daemon on a free port, runs two epochs, walks
+//!   every endpoint, and shuts it down.
+//! * `cargo run --example daemon_quickstart -- HOST:PORT [--shutdown]` —
+//!   client against an already-running daemon (this is what the CI smoke
+//!   uses): waits for epoch 1, queries a domain from the first delta,
+//!   cross-checks `/metrics` against `/coverage`, and optionally asks the
+//!   daemon to exit.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use urhunterd::{http_get, json_str_field, json_u64_field};
+
+fn wait_for_epoch(addr: SocketAddr, epoch: u64) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok((200, body)) = http_get(addr, "/healthz") {
+            if json_u64_field(&body, "epochs_done").unwrap_or(0) >= epoch {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("daemon at {addr} never reached epoch {epoch}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    match http_get(addr, path) {
+        Ok((200, body)) => Ok(body),
+        Ok((status, body)) => Err(format!("GET {path} -> {status}: {}", body.trim())),
+        Err(e) => Err(format!("GET {path} failed: {e}")),
+    }
+}
+
+/// Walk the control plane of the daemon at `addr`. Returns an error
+/// string on any inconsistency so the CI smoke fails loudly.
+fn exercise(addr: SocketAddr) -> Result<(), String> {
+    wait_for_epoch(addr, 1)?;
+    let health = get(addr, "/healthz")?;
+    println!("healthz:  {}", health.trim());
+
+    // Pull the first epoch's delta and pick a domain out of it.
+    let deltas = get(addr, "/deltas?since=0")?;
+    let domain = json_str_field(&deltas, "domain")
+        .ok_or("first delta contains no events — nothing was observed")?
+        .to_string();
+    println!(
+        "deltas:   {} epochs in history, first observed domain: {domain}",
+        deltas.matches("\"epoch\":").count()
+    );
+
+    let verdict = get(addr, &format!("/verdict/{domain}"))?;
+    let records = verdict.matches("\"ns\":").count();
+    if records == 0 {
+        return Err(format!("/verdict/{domain} returned no records"));
+    }
+    println!("verdict:  {domain} -> {records} record(s)");
+    println!("          {}", verdict.trim());
+
+    // /metrics and /coverage must tell the same story about the newest
+    // epoch's probe volume.
+    let coverage = get(addr, "/coverage")?;
+    let scheduled =
+        json_u64_field(&coverage, "scheduled").ok_or("coverage body missing \"scheduled\"")?;
+    let metrics = get(addr, "/metrics")?;
+    let metric_scheduled = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("probe_scheduled{class=\"sim\"} "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .ok_or("metrics body missing probe_scheduled")?;
+    if metric_scheduled != scheduled {
+        return Err(format!(
+            "probe_scheduled disagrees: /metrics says {metric_scheduled}, \
+             /coverage says {scheduled}"
+        ));
+    }
+    println!("coverage: {scheduled} probes scheduled (matches /metrics)");
+    Ok(())
+}
+
+fn main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let addr_arg = args.iter().find(|a| !a.starts_with("--"));
+
+    match addr_arg {
+        // Client mode: talk to a daemon someone else started.
+        Some(raw) => {
+            let addr: SocketAddr = raw
+                .parse()
+                .map_err(|_| format!("not a HOST:PORT address: {raw}"))?;
+            exercise(addr)?;
+            if shutdown {
+                get(addr, "/shutdown")?;
+                println!("shutdown: requested");
+            }
+            Ok(())
+        }
+        // Demo mode: run the whole lifecycle in-process.
+        None => {
+            let cfg = urhunterd::DaemonConfig {
+                listen: "127.0.0.1:0".parse().unwrap(),
+                max_epochs: Some(2),
+                wall_interval: Duration::ZERO,
+                driver: urhunterd::DriverConfig::small(),
+            };
+            let handle = urhunterd::start(cfg).map_err(|e| e.to_string())?;
+            let addr = handle.addr();
+            println!("demo daemon listening on http://{addr}");
+            exercise(addr)?;
+            wait_for_epoch(addr, 2)?;
+            get(addr, "/shutdown")?;
+            let state = handle.join();
+            println!(
+                "demo done: {} epochs, {} URs tracked, {} present",
+                state.epochs_done,
+                state.store.len(),
+                state.store.present_len()
+            );
+            Ok(())
+        }
+    }
+}
