@@ -132,13 +132,30 @@ fi
 echo "== smoke: xl_stream (streamed paper-scale path) =="
 # CI-sized streamed world: plan-backed lazy fabrics, scoped shard builds,
 # fold-style classification. The binary itself asserts full coverage,
-# category representation, and its peak-RSS budget.
+# category representation, parallel/sequential digest equality, and its
+# peak-RSS budget.
 XL_SMOKE=$(cargo run --release -q -p bench --bin xl_stream -- smoke 8)
 echo "$XL_SMOKE"
-echo "$XL_SMOKE" | grep -q '"peak_rss_mb"' || {
-    echo "ci.sh: xl_stream smoke did not report peak_rss_mb" >&2
+for field in '"peak_rss_mb"' '"workers"' '"urs_per_sec_parallel"' '"scaling"'; do
+    echo "$XL_SMOKE" | grep -q "$field" || {
+        echo "ci.sh: xl_stream smoke did not report $field" >&2
+        exit 1
+    }
+done
+
+echo "== stream-worker matrix: xl_stream smoke --stream-workers 1 vs 4 =="
+# The parallel shard fold must be invisible in the output: the sequence
+# digest has to match bit for bit between a 1-worker and a 4-worker scan
+# of the same smoke world.
+WORKERS1_HASH=$(cargo run --release -q -p bench --bin xl_stream -- smoke 8 1 \
+    | sed -n 's/.*"sequence_hash": \([0-9]*\).*/\1/p')
+WORKERS4_HASH=$(cargo run --release -q -p bench --bin xl_stream -- smoke 8 4 \
+    | sed -n 's/.*"sequence_hash": \([0-9]*\).*/\1/p')
+if [ -z "$WORKERS1_HASH" ] || [ "$WORKERS1_HASH" != "$WORKERS4_HASH" ]; then
+    echo "ci.sh: 4-worker streamed scan diverges from 1 worker \
+(hashes: '$WORKERS1_HASH' vs '$WORKERS4_HASH')" >&2
     exit 1
-}
+fi
 
 echo "== smoke: cargo run -p bench --bin perf_snapshot (with xl block) =="
 # URHUNTER_BENCH_XL=1 keeps the regenerated BENCH_pipeline.json shaped
@@ -154,7 +171,8 @@ grep -q '"metrics_overhead_ratio"' BENCH_pipeline.json || {
 }
 for field in '"collect_ms"' '"urs_per_sec"' '"shards"' '"collect_sharded_ms"' \
     '"peak_rss_mb"' '"xl"' '"adaptive_collect_ms"' '"adaptive_gave_up"' \
-    '"bucket_wait_ms"'; do
+    '"bucket_wait_ms"' '"workers"' '"urs_per_sec_parallel"' '"scaling"' \
+    '"peak_rss_mb_parallel"'; do
     grep -q "$field" BENCH_pipeline.json || {
         echo "ci.sh: BENCH_pipeline.json is missing $field" >&2
         exit 1

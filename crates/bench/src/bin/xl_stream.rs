@@ -1,15 +1,21 @@
 //! `xl_stream` — drive the streamed paper-scale pipeline and report its
 //! memory/throughput envelope.
 //!
-//! Runs [`run_streamed`] against a plan-backed [`StreamWorld`] and prints
-//! one JSON line: UR population, category split, probe coverage, the
-//! order-sensitive sequence digest, wall-clock throughput (`urs_per_sec`)
-//! and the process peak RSS (`peak_rss_mb`, from `/proc/self/status`
-//! `VmHWM` where available).
+//! Runs [`run_streamed`] against a plan-backed [`StreamWorld`] twice —
+//! once sequentially (`stream_workers = 1`), once with the parallel shard
+//! fold — and prints one JSON line: UR population, category split, probe
+//! coverage, the order-sensitive sequence digest, sequential and parallel
+//! wall-clock throughput (`urs_per_sec`, `urs_per_sec_parallel`), the
+//! `scaling` ratio between them, and the process peak RSS (`peak_rss_mb`,
+//! from `/proc/self/status` `VmHWM` where available). The two runs must
+//! agree bit-for-bit on the sequence digest — the parallel fold is a
+//! wall-clock optimization, never a measurement change.
 //!
 //! ```text
-//! xl_stream [xl|paper|smoke] [world_shards]
+//! xl_stream [xl|paper|smoke] [world_shards] [workers]
 //! ```
+//!
+//! `workers` defaults to `0` = auto (`min(world_shards, cores)`).
 //!
 //! `smoke` is the CI-sized variant: a scaled-down `xl` config that keeps
 //! the whole lazy path honest — plan-backed generation, scoped shard
@@ -36,6 +42,10 @@ fn main() {
         .nth(2)
         .map(|s| s.parse().expect("world_shards must be a number"))
         .unwrap_or(8);
+    let workers_knob: usize = std::env::args()
+        .nth(3)
+        .map(|s| s.parse().expect("workers must be a number (0 = auto)"))
+        .unwrap_or(0);
     let config = match preset.as_str() {
         "xl" => WorldConfig::xl(),
         "paper" => WorldConfig::paper(),
@@ -48,34 +58,58 @@ fn main() {
     let gen_start = std::time::Instant::now();
     let world = StreamWorld::generate(config);
     let gen_ms = gen_start.elapsed().as_secs_f64() * 1e3;
-    let cfg = HunterConfig::fast().with_keep_raw_collected(false);
+    let base = || HunterConfig::fast().with_keep_raw_collected(false);
+
     let start = std::time::Instant::now();
-    let out = run_streamed(&world, &cfg, shards);
-    let secs = start.elapsed().as_secs_f64();
-    let urs_per_sec = out.total_urs as f64 / secs.max(1e-9);
+    let seq = run_streamed(&world, &base().with_stream_workers(1), shards);
+    let seq_secs = start.elapsed().as_secs_f64();
+    let urs_per_sec = seq.total_urs as f64 / seq_secs.max(1e-9);
+
+    let start = std::time::Instant::now();
+    let par = run_streamed(&world, &base().with_stream_workers(workers_knob), shards);
+    let par_secs = start.elapsed().as_secs_f64();
+    let urs_per_sec_parallel = par.total_urs as f64 / par_secs.max(1e-9);
+    let scaling = urs_per_sec_parallel / urs_per_sec.max(1e-9);
+
     let rss = peak_rss_mb();
     println!(
-        "{{\"preset\": \"{preset}\", \"world_shards\": {}, \"nameservers\": {}, \
+        "{{\"preset\": \"{preset}\", \"world_shards\": {}, \"workers\": {}, \
+         \"nameservers\": {}, \
          \"targets\": {}, \"urs\": {}, \"correct\": {}, \"protective\": {}, \
          \"unknown\": {}, \"scheduled\": {}, \"answered\": {}, \
-         \"sequence_hash\": {}, \"gen_ms\": {gen_ms:.1}, \"scan_secs\": {secs:.2}, \
-         \"urs_per_sec\": {urs_per_sec:.0}, \"peak_rss_mb\": {rss}}}",
-        out.shards,
-        out.nameserver_count,
-        out.target_count,
-        out.total_urs,
-        out.correct,
-        out.protective,
-        out.unknown,
-        out.coverage.scheduled,
-        out.coverage.answered,
-        out.sequence_hash,
+         \"sequence_hash\": {}, \"gen_ms\": {gen_ms:.1}, \"scan_secs\": {seq_secs:.2}, \
+         \"scan_secs_parallel\": {par_secs:.2}, \"urs_per_sec\": {urs_per_sec:.0}, \
+         \"urs_per_sec_parallel\": {urs_per_sec_parallel:.0}, \"scaling\": {scaling:.2}, \
+         \"peak_rss_mb\": {rss}}}",
+        seq.shards,
+        par.workers,
+        seq.nameserver_count,
+        seq.target_count,
+        seq.total_urs,
+        seq.correct,
+        seq.protective,
+        seq.unknown,
+        seq.coverage.scheduled,
+        seq.coverage.answered,
+        seq.sequence_hash,
+    );
+    // The parallel fold must be invisible in the output: same digest, same
+    // coverage, same category split as the sequential scan.
+    assert_eq!(
+        seq.sequence_hash, par.sequence_hash,
+        "parallel fold diverged from sequential (workers={})",
+        par.workers
+    );
+    assert_eq!(seq.coverage, par.coverage);
+    assert_eq!(
+        (seq.correct, seq.protective, seq.unknown),
+        (par.correct, par.protective, par.unknown)
     );
     // Sanity gates shared by every preset: the scan must produce URs in
     // every classification bucket and answer everything it scheduled.
-    assert!(out.total_urs > 0, "streamed scan produced no URs");
-    assert!(out.correct > 0 && out.protective > 0 && out.unknown > 0);
-    assert_eq!(out.coverage.scheduled, out.coverage.answered);
+    assert!(seq.total_urs > 0, "streamed scan produced no URs");
+    assert!(seq.correct > 0 && seq.protective > 0 && seq.unknown > 0);
+    assert_eq!(seq.coverage.scheduled, seq.coverage.answered);
     // Memory gates: the whole point of the lazy path. The smoke world must
     // stay within a CI-friendly budget; the big presets within a
     // workstation one (tuned from measured peaks with ~40% headroom).
@@ -89,9 +123,9 @@ fn main() {
     );
     if preset == "xl" {
         assert!(
-            out.total_urs >= 1_000_000,
+            seq.total_urs >= 1_000_000,
             "xl preset must produce at least 1M URs, got {}",
-            out.total_urs
+            seq.total_urs
         );
     }
 }

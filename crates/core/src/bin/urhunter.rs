@@ -3,7 +3,7 @@
 //! ```text
 //! urhunter [--scale small|default] [--world medium|paper|xl] [--seed N]
 //!          [--report summary|table1|figure2|figure3|table2|all]
-//!          [--parallelism N] [--batch-size N] [--shards N]
+//!          [--parallelism N] [--batch-size N] [--shards N] [--stream-workers N]
 //!          [--retries N] [--timeout MS] [--fault-drop P]
 //!          [--adaptive] [--rtt-k N] [--rate-limit N]
 //!          [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]
@@ -14,8 +14,11 @@
 //! (the paper's 8,941-nameserver inventory) and `xl` (>= 1M URs) run the
 //! streamed path — lazy plan-backed shard fabrics, URs folded into
 //! category counters and a sequence digest as they arrive, nothing
-//! retained — and print the scan summary (only `--seed` and `--shards`
-//! apply there).
+//! retained — and print the scan summary (only `--seed`, `--shards`,
+//! `--stream-workers` and the probe/rate knobs apply there).
+//! `--stream-workers N` scans N shards concurrently on the streamed path
+//! (default: auto-sized from the machine, capped at the shard count);
+//! the folded output is bit-identical for every worker count.
 //!
 //! `--parallelism 0` (the default) sizes the classification worker pool
 //! from the machine; `--batch-size N` (N > 0) switches to the streaming
@@ -37,9 +40,11 @@
 //! clamped to the plan's fixed timeout) and order each scan round by
 //! estimated latency. `--rtt-k N` sets the variance multiplier k
 //! (default 4, minimum 1). `--rate-limit N` caps the whole scan at N
-//! probes per second through a global token bucket (shards clamp to 1 so
-//! one clock paces the fleet). All three change simulated elapsed time
-//! only — the classified output is bit-identical.
+//! probes per second through a global token bucket (the materialized
+//! pipeline clamps shards to 1 so one clock paces the fleet; the
+//! streamed path shares one bucket across all shards instead). All
+//! three change simulated elapsed time only — the classified output is
+//! bit-identical.
 //!
 //! `--metrics-out FILE` attaches the observability hub to the run, prints
 //! the metrics table, and writes every metric and traced event to FILE.
@@ -72,6 +77,7 @@ struct Args {
     parallelism: Option<usize>,
     batch_size: Option<usize>,
     shards: Option<usize>,
+    stream_workers: Option<usize>,
     retries: Option<u32>,
     timeout_ms: Option<u64>,
     fault_drop: Option<f64>,
@@ -90,7 +96,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: urhunter [--scale small|default] [--world medium|paper|xl] [--seed N] \
          [--report summary|table1|figure2|figure3|table2|all]\n\
-         \u{20}               [--parallelism N] [--batch-size N] [--shards N]\n\
+         \u{20}               [--parallelism N] [--batch-size N] [--shards N] [--stream-workers N]\n\
          \u{20}               [--retries N] [--timeout MS] [--fault-drop P]\n\
          \u{20}               [--adaptive] [--rtt-k N] [--rate-limit N]\n\
          \u{20}               [--extended] [--expand-pdns] [--payload-match] [--ethics] [--pcap FILE]\n\
@@ -98,7 +104,11 @@ fn usage() -> ! {
          \u{20} --world medium runs the materialized medium world through the full\n\
          \u{20} pipeline; --world paper|xl runs the paper-scale streamed path (lazy\n\
          \u{20} plan-backed fabrics, URs folded into counters as they arrive) and\n\
-         \u{20} prints the scan summary — only --seed and --shards apply there;\n\
+         \u{20} prints the scan summary — only --seed, --shards, --stream-workers\n\
+         \u{20} and the probe/rate knobs apply there;\n\
+         \u{20} --stream-workers N scans N shards concurrently on the streamed path\n\
+         \u{20} (minimum 1, maximum 64; default auto-sizes from the machine, capped\n\
+         \u{20} at the shard count; output is bit-identical for every worker count);\n\
          \u{20} --parallelism 0 sizes the worker pool automatically (default);\n\
          \u{20} --batch-size 0 disables streaming (default), N > 0 streams N URs per batch;\n\
          \u{20} --shards N runs the bulk scan on N replica fabrics partitioned by\n\
@@ -110,13 +120,34 @@ fn usage() -> ! {
          \u{20} from smoothed per-nameserver RTT and orders scan rounds by estimated\n\
          \u{20} latency (output stays bit-identical), --rtt-k N sets the variance\n\
          \u{20} multiplier (default 4, minimum 1), --rate-limit N caps the scan at N\n\
-         \u{20} probes per second globally (positive; clamps shards to 1);\n\
+         \u{20} probes per second globally (positive; the streamed path shares one\n\
+         \u{20} bucket across shards, the materialized pipeline clamps shards to 1);\n\
          \u{20} --metrics-out FILE writes the observability registry and event\n\
          \u{20} trace (.prom/.txt = Prometheus text, otherwise JSON lines);\n\
          \u{20} `urhunter daemon [FLAGS]` runs the resident scanning daemon\n\
          \u{20} (urhunterd --help lists its flags)."
     );
     std::process::exit(2)
+}
+
+/// Validate a `--stream-workers` value. Zero is rejected (a scan needs at
+/// least one worker; omit the flag to auto-size from the machine) and the
+/// cap mirrors `--shards`: more workers than shards would idle anyway.
+fn validate_stream_workers(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--stream-workers must be a number (got {v})"))?;
+    if n == 0 {
+        return Err(
+            "--stream-workers must be at least 1 (got 0): omit the flag to auto-size".to_string(),
+        );
+    }
+    if n > 64 {
+        return Err(format!(
+            "--stream-workers is capped at 64 (got {v}): each worker drives a whole shard fabric"
+        ));
+    }
+    Ok(n)
 }
 
 fn parse_args() -> Args {
@@ -128,6 +159,7 @@ fn parse_args() -> Args {
         parallelism: None,
         batch_size: None,
         shards: None,
+        stream_workers: None,
         retries: None,
         timeout_ms: None,
         fault_drop: None,
@@ -180,6 +212,16 @@ fn parse_args() -> Args {
                     usage()
                 }
                 args.shards = Some(n);
+            }
+            "--stream-workers" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match validate_stream_workers(&v) {
+                    Ok(n) => args.stream_workers = Some(n),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        usage()
+                    }
+                }
             }
             "--retries" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -258,13 +300,10 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
     if let Some(seed) = args.seed {
         config = config.with_seed(seed);
     }
-    // A global probe cap needs one scanner clock: mirror the pipeline's
-    // shard clamp so the token bucket paces the whole fleet.
-    let shards = if args.rate_limit.is_some() {
-        1
-    } else {
-        args.shards.unwrap_or(8)
-    };
+    // Under --rate-limit the streamed path shares one token bucket across
+    // all shard scans (a concatenated global timeline), so the shard count
+    // no longer needs clamping here.
+    let shards = args.shards.unwrap_or(8);
     eprintln!(
         "generating streamed world (preset={preset}, seed={})...",
         config.seed
@@ -276,6 +315,9 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
         world.scan_targets().len()
     );
     let mut hunter = HunterConfig::fast().with_keep_raw_collected(false);
+    if let Some(workers) = args.stream_workers {
+        hunter = hunter.with_stream_workers(workers);
+    }
     if args.adaptive {
         hunter = hunter.with_adaptive();
     }
@@ -287,13 +329,14 @@ fn run_world_preset(args: &Args, preset: &str) -> ExitCode {
     }
     let out = urhunter::run_streamed(&world, &hunter, shards);
     println!(
-        "world {preset}: {} nameservers, {} targets, {} shard(s)\n\
+        "world {preset}: {} nameservers, {} targets, {} shard(s) on {} worker(s)\n\
          probes: {} scheduled, {} answered\n\
          undelegated records: {} total ({} correct, {} protective, {} unknown)\n\
          sequence hash: {:#018x}",
         out.nameserver_count,
         out.target_count,
         out.shards,
+        out.workers,
         out.coverage.scheduled,
         out.coverage.answered,
         out.total_urs,
@@ -488,4 +531,30 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_stream_workers;
+
+    #[test]
+    fn stream_workers_accepts_the_valid_range() {
+        assert_eq!(validate_stream_workers("1"), Ok(1));
+        assert_eq!(validate_stream_workers("4"), Ok(4));
+        assert_eq!(validate_stream_workers("64"), Ok(64));
+    }
+
+    #[test]
+    fn stream_workers_rejects_zero_with_a_clear_message() {
+        let err = validate_stream_workers("0").unwrap_err();
+        assert!(err.contains("at least 1"), "got: {err}");
+        assert!(err.contains("auto-size"), "got: {err}");
+    }
+
+    #[test]
+    fn stream_workers_rejects_garbage_and_oversize() {
+        assert!(validate_stream_workers("many").is_err());
+        assert!(validate_stream_workers("-3").is_err());
+        assert!(validate_stream_workers("65").unwrap_err().contains("64"));
+    }
 }

@@ -667,27 +667,53 @@ pub fn collect_urs_sharded(
     outcome
 }
 
-/// Sequential streamed bulk scan for plan-backed worlds (the `paper` and
+/// What one streamed shard reports back to the fold besides its batches.
+type StreamShardSummary = (
+    crate::query::CoverageReport,
+    simnet::SimDuration,
+    simnet::NetStats,
+    u64,
+);
+
+/// Parallel streamed bulk scan for plan-backed worlds (the `paper` and
 /// `xl` presets): the memory-bounded counterpart of
-/// [`collect_urs_sharded`].
+/// [`collect_urs_sharded`], now scaling with cores.
 ///
 /// The selected nameservers are split into `world_shards` contiguous
-/// ranges. Shards run *one after another*: each builds a scoped replica
-/// fabric holding only its own nameserver nodes
+/// ranges. `stream_workers` worker threads (clamped to the shard count)
+/// each claim the next shard index, build a scoped replica fabric holding
+/// only that shard's nameserver nodes
 /// ([`worldgen::ScanBlueprint::build_network_scoped`] — on a lazy blueprint
-/// that materializes just the providers owning those addresses), scans its
-/// slice, streams URs straight to `sink`, and is dropped before the next
-/// shard starts. Peak memory is therefore one shard's zone tables plus one
-/// shard's task list, independent of world size.
+/// that materializes just the providers owning those addresses), scan the
+/// slice with their own [`ProbeEngine`] / [`QidGen`] / task feed, apply
+/// `transform` to each full batch **on the worker thread** (this is where
+/// classification parallelizes), and drop the fabric before claiming the
+/// next shard. Transformed batches, tagged `(shard, batch_seq)`, flow
+/// through [`par::sharded_ordered_fold`] to `sink` on the calling thread
+/// in canonical **shard-major** order, and each shard's summary
+/// (coverage, elapsed, fabric stats, bucket waits) is absorbed in shard
+/// order — so for every `stream_workers` value the output is bit-identical
+/// to a `for shard in 0..world_shards` loop, and peak memory is bounded by
+/// `stream_workers` resident shard fabrics plus the in-flight batches (an
+/// admission window inside the fold executor keeps fast workers from
+/// racing ahead of the fold).
 ///
-/// The canonical order is *shard-major*: each shard's tasks are randomized
-/// with a seed derived from `scheduler_seed` and the shard index, and URs
-/// reach `sink` in probe order — there is no global splice buffer. Output
-/// is deterministic in `(world, scheduler_seed, world_shards)`; unlike the
-/// sharded scan it intentionally *depends* on `world_shards`, which is
-/// part of a streamed run's configuration.
+/// Each shard's tasks are randomized with a seed derived from
+/// `scheduler_seed` and the shard index; batches never span a shard
+/// boundary (the final partial batch of a shard flushes when the shard
+/// ends — UR *order* across batches is unchanged). Output is deterministic
+/// in `(world, scheduler_seed, world_shards)`; unlike the sharded scan it
+/// intentionally *depends* on `world_shards`, which is part of a streamed
+/// run's configuration — and never on `stream_workers`.
+///
+/// A non-zero `global_pacing` (`--rate-limit`) is enforced by a
+/// [`SharedTokenBucket`](crate::schedule::SharedTokenBucket) metering the
+/// scan-wide concatenated timeline: shard `s` may not admit until every
+/// earlier shard finished, so rate-limited shard scans serialize (they are
+/// throttle-bound by construction) while remaining bit-identical for any
+/// worker count.
 #[allow(clippy::too_many_arguments)]
-pub fn collect_urs_streamed(
+pub fn collect_urs_streamed<T: Send>(
     blueprint: &worldgen::ScanBlueprint,
     plan: crate::query::QueryPlan,
     faults: simnet::FaultPlan,
@@ -700,8 +726,10 @@ pub fn collect_urs_streamed(
     pacing: simnet::SimDuration,
     global_pacing: simnet::SimDuration,
     world_shards: usize,
+    stream_workers: usize,
     batch_size: usize,
-    sink: &mut dyn FnMut(Vec<CollectedUr>),
+    transform: &(dyn Fn(Vec<CollectedUr>) -> T + Sync),
+    sink: &mut dyn FnMut(T),
 ) -> ShardedScanOutcome {
     let delegated_ips = delegated_ip_sets(world_registry, targets);
     let ranges = par::chunk_ranges(nameservers.len(), world_shards.max(1));
@@ -710,15 +738,15 @@ pub fn collect_urs_streamed(
     } else {
         batch_size
     };
-    let mut outcome = ShardedScanOutcome {
-        coverage: crate::query::CoverageReport::default(),
-        elapsed: simnet::SimDuration::ZERO,
-        stats: simnet::NetStats::default(),
-        shards: ranges.len(),
-        bucket_wait: simnet::SimDuration::ZERO,
+    let workers = stream_workers.max(1).min(ranges.len());
+    let shared_global = if global_pacing == simnet::SimDuration::ZERO {
+        None
+    } else {
+        Some(crate::schedule::SharedTokenBucket::new(global_pacing))
     };
-    let mut pending: Vec<CollectedUr> = Vec::new();
-    for (shard_idx, range) in ranges.iter().enumerate() {
+
+    let scan_shard = |shard_idx: usize, emit: &mut dyn FnMut(T)| -> StreamShardSummary {
+        let range = ranges[shard_idx].clone();
         // This shard's slice of the cross product, randomized with its own
         // derived seed. Building per shard keeps the task list O(slice)
         // instead of O(inventory) — on a paper-scale world the global list
@@ -737,9 +765,14 @@ pub fn collect_urs_streamed(
         }
         let shard_seed =
             scheduler_seed ^ (shard_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut sched = QueryScheduler::new(shard_seed, pacing).with_global_interval(global_pacing);
+        let mut sched = QueryScheduler::new(shard_seed, pacing);
+        sched = match &shared_global {
+            Some(g) => sched.with_shared_global(g.clone(), shard_idx),
+            None => sched.with_global_interval(global_pacing),
+        };
         sched.randomize(&mut tasks);
         let scope: Vec<Ipv4Addr> = range.clone().map(|ni| nameservers[ni].ip).collect();
+        let pool_before = dnswire::bufpool::stats();
         let mut net = blueprint.build_network_scoped(shard_idx as u64, &scope);
         net.set_faults(faults);
         net.set_payload_recycler(Some(dnswire::bufpool::release));
@@ -751,6 +784,7 @@ pub fn collect_urs_streamed(
             engine = engine.with_obs(hub.clone());
         }
         let mut qids = QidGen::new();
+        let mut pending: Vec<CollectedUr> = Vec::new();
         let mut feed = TaskFeed::new(plan.adaptive, plan.backoff_seed, tasks, |&(ni, _, _)| {
             nameservers[ni].ip
         });
@@ -769,29 +803,76 @@ pub fn collect_urs_streamed(
             ) {
                 pending.push(ur);
                 if pending.len() >= batch_size {
-                    sink(std::mem::take(&mut pending));
+                    emit(transform(std::mem::take(&mut pending)));
                 }
             }
         }
+        if !pending.is_empty() {
+            emit(transform(pending));
+        }
         let elapsed = net.now() - simnet::SimTime::ZERO;
         net.settle();
-        outcome.coverage.absorb(&engine.take_coverage());
-        outcome.elapsed = outcome.elapsed + elapsed;
-        outcome.bucket_wait =
-            outcome.bucket_wait + simnet::SimDuration::from_micros(sched.wait_us());
-        let stats = net.stats();
-        outcome.stats.delivered += stats.delivered;
-        outcome.stats.dropped += stats.dropped;
-        outcome.stats.corrupted += stats.corrupted;
-        outcome.stats.no_route += stats.no_route;
-        outcome.stats.bytes_delivered += stats.bytes_delivered;
-        outcome.stats.events += stats.events;
-        // `net` (the shard's zones and nodes) drops here, before the next
-        // shard materializes its slice.
-    }
-    if !pending.is_empty() {
-        sink(pending);
-    }
+        if let Some(g) = &shared_global {
+            // Hand the global bucket to the next shard on the concatenated
+            // timeline — exactly once per shard, even an empty one.
+            g.finish_shard(shard_idx, elapsed);
+        }
+        if let Some(hub) = &obs {
+            // Pool traffic is thread-local; the deltas observed here are
+            // exactly this shard's recycling (plus nothing else, because a
+            // worker runs one shard at a time). Wall class: hit rates
+            // depend on which OS thread ran which shard.
+            let pool_after = dnswire::bufpool::stats();
+            use obs::Class::Wall;
+            let reg = hub.registry();
+            reg.counter("bufpool_recycled", Wall)
+                .add(pool_after.hits - pool_before.hits);
+            reg.counter("bufpool_allocated", Wall)
+                .add(pool_after.misses - pool_before.misses);
+        }
+        // `net` (the shard's zones and nodes) drops on return, bounding
+        // resident fabrics to the worker count.
+        (
+            engine.take_coverage(),
+            elapsed,
+            net.stats(),
+            sched.wait_us(),
+        )
+    };
+
+    let mut outcome = ShardedScanOutcome {
+        coverage: crate::query::CoverageReport::default(),
+        elapsed: simnet::SimDuration::ZERO,
+        stats: simnet::NetStats::default(),
+        shards: ranges.len(),
+        bucket_wait: simnet::SimDuration::ZERO,
+    };
+    // Two in-flight batches per shard queue: enough to keep the fold fed,
+    // small enough that a worker running ahead of the fold blocks on its
+    // queue instead of accumulating a whole shard's URs in memory.
+    par::sharded_ordered_fold(
+        workers,
+        ranges.len(),
+        2,
+        scan_shard,
+        (),
+        |_: &mut (), _shard, batch: T| sink(batch),
+        |_: &mut (), _shard, summary: StreamShardSummary| {
+            let (coverage, elapsed, stats, wait_us) = summary;
+            // absorb() merges quarantine lists in address order; summaries
+            // arrive in shard order, so every sum below is the sequential
+            // loop's sum.
+            outcome.coverage.absorb(&coverage);
+            outcome.elapsed = outcome.elapsed + elapsed;
+            outcome.bucket_wait = outcome.bucket_wait + simnet::SimDuration::from_micros(wait_us);
+            outcome.stats.delivered += stats.delivered;
+            outcome.stats.dropped += stats.dropped;
+            outcome.stats.corrupted += stats.corrupted;
+            outcome.stats.no_route += stats.no_route;
+            outcome.stats.bytes_delivered += stats.bytes_delivered;
+            outcome.stats.events += stats.events;
+        },
+    );
     outcome
 }
 

@@ -68,7 +68,7 @@ pub use pipeline::{
 };
 pub use query::{CoverageReport, NsHealth, ProbeEngine, QueryPlan, RttEstimate, DEFAULT_RTT_K};
 pub use report::{build_report, ProviderRow, Report, ReportBuilder, Table1Row, Totals};
-pub use schedule::{QueryScheduler, TokenBucket, PAPER_PER_SERVER_INTERVAL};
+pub use schedule::{QueryScheduler, SharedTokenBucket, TokenBucket, PAPER_PER_SERVER_INTERVAL};
 pub use store::UrStore;
 pub use types::{
     ClassifiedUr, CollectedUr, CorrectDb, CorrectReason, DomainProfile, MaliciousEvidence,

@@ -60,6 +60,16 @@ pub struct HunterConfig {
     /// is bit-identical either way, for every batch size and worker count
     /// (pinned by `tests/streaming.rs`).
     pub stream_batch_size: usize,
+    /// Worker threads for the *streamed* paper/xl scan path
+    /// ([`run_streamed`]): each worker claims the next world shard, scans
+    /// it on a scoped replica fabric and classifies its batches; a fold on
+    /// the calling thread absorbs everything in canonical shard-major
+    /// order. `0` is automatic — `min(world_shards, available cores)`,
+    /// with the `URHUNTER_PARALLELISM` override. Output is bit-identical
+    /// for every value (pinned by `tests/streamed_parallel.rs`); only
+    /// wall-clock time and peak RSS (bounded by `workers` resident shard
+    /// fabrics) change.
+    pub stream_workers: usize,
     /// Keep the raw [`CollectedUr`] set in [`RunOutput::collected`].
     /// Defaults to `true` (tests and examples inspect it); bench binaries
     /// turn it off so large-world runs don't hold every UR twice — each
@@ -77,9 +87,13 @@ pub struct HunterConfig {
     pub scan_faults: Option<FaultPlan>,
     /// Global scan rate cap: minimum spacing between *any* two bulk-scan
     /// probes, regardless of server (`ZERO` = uncapped). Enforced by a
-    /// token bucket on the virtual clock; like ethics pacing it forces the
-    /// scan onto one shard, because a global rate only means something on
-    /// one clock.
+    /// token bucket on the virtual clock. In the materialized pipeline it
+    /// forces the scan onto one shard, like ethics pacing, because a
+    /// global rate only means something on one clock; the streamed path
+    /// instead threads one [`crate::SharedTokenBucket`] through every
+    /// shard scheduler, metering the concatenated shard timeline, so it
+    /// composes with any `world_shards` / [`HunterConfig::stream_workers`]
+    /// setting.
     pub rate_limit_interval: SimDuration,
     /// Observability hub (see `crates/obs`): when set, every layer mirrors
     /// its accounting into the hub's registry and event sink — fabric
@@ -104,6 +118,7 @@ impl HunterConfig {
             parallelism: 0,
             shards: 1,
             stream_batch_size: 0,
+            stream_workers: 0,
             keep_raw_collected: true,
             retry: QueryPlan::default(),
             scan_faults: None,
@@ -159,6 +174,13 @@ impl HunterConfig {
     /// strict-batch path).
     pub fn with_stream_batch_size(mut self, batch: usize) -> Self {
         self.stream_batch_size = batch;
+        self
+    }
+
+    /// Set the streamed-scan worker count (see
+    /// [`HunterConfig::stream_workers`]; `0` = `min(shards, cores)`).
+    pub fn with_stream_workers(mut self, workers: usize) -> Self {
+        self.stream_workers = workers;
         self
     }
 
@@ -671,20 +693,28 @@ pub struct StreamRunOutput {
     pub sequence_hash: u64,
     /// How many world shards ran.
     pub shards: usize,
+    /// How many scan worker threads ran (never affects any other field).
+    pub workers: usize,
     /// Simulated time the shard schedulers spent blocked on pacing buckets.
     pub bucket_wait: SimDuration,
 }
 
 /// Run the streamed paper-scale pipeline against a plan-backed world:
-/// sequential scoped scan shards ([`crate::collect::collect_urs_streamed`]),
-/// with every UR
-/// classified the moment its batch lands and immediately folded into the
-/// [`StreamRunOutput`] aggregates. Peak memory is one shard's zone tables
-/// plus one classification batch, independent of world size.
+/// scoped scan shards claimed by [`HunterConfig::stream_workers`] worker
+/// threads ([`crate::collect::collect_urs_streamed`]), every UR classified
+/// on the worker that scanned it the moment its batch fills, and the
+/// classified batches folded into the [`StreamRunOutput`] aggregates on
+/// the calling thread in canonical shard-major order. Peak memory is
+/// `workers` shards' zone tables plus the in-flight classification
+/// batches, independent of world size.
 ///
 /// Deterministic in `(world, cfg, world_shards)` — the canonical order is
 /// shard-major, so `world_shards` is part of a run's identity (unlike the
-/// materialized pipeline, whose output is shard-count invariant).
+/// materialized pipeline, whose output is shard-count invariant). The
+/// worker count is **not** part of the identity: every field of the
+/// output, including `sequence_hash` and the deterministic metrics
+/// snapshot, is bit-identical for every `stream_workers` value (pinned by
+/// `tests/streamed_parallel.rs`).
 pub fn run_streamed(
     world: &worldgen::StreamWorld,
     cfg: &HunterConfig,
@@ -719,6 +749,20 @@ pub fn run_streamed(
     } else {
         cfg.stream_batch_size
     };
+    let workers = par::Parallelism::from_knob(cfg.stream_workers)
+        .get()
+        .min(world_shards.max(1));
+    // Runs on whichever worker scanned the batch's shard: the shared
+    // classifier's attribute cache is pure (PR 2's invariant), so verdicts
+    // never depend on which thread resolved an attribute first. The
+    // verdict funnel is sharded per batch and merged by the fold below in
+    // splice order — counters only, so the sums are order-free too.
+    let shard_funnel = cfg.obs.is_some();
+    let classify_batch = |urs: Vec<CollectedUr>| {
+        let cls = streamer.classify_batch_owned(urs);
+        let funnel = shard_funnel.then(|| classify_shard(&cls));
+        (cls, funnel)
+    };
     let outcome = crate::collect::collect_urs_streamed(
         &blueprint,
         cfg.retry,
@@ -732,9 +776,14 @@ pub fn run_streamed(
         cfg.per_server_interval,
         cfg.rate_limit_interval,
         world_shards,
+        workers,
         batch,
-        &mut |urs| {
-            for c in streamer.classify_batch_owned(urs) {
+        &classify_batch,
+        &mut |(cls, funnel): (Vec<ClassifiedUr>, Option<obs::MetricShard>)| {
+            if let (Some(shard), Some(hub)) = (funnel, &cfg.obs) {
+                hub.registry().merge_shard(obs::Class::Sim, &shard);
+            }
+            for c in cls {
                 seq.absorb(&c);
                 total += 1;
                 by_category[match c.category {
@@ -758,6 +807,7 @@ pub fn run_streamed(
         elapsed: outcome.elapsed,
         sequence_hash: seq.digest(),
         shards: outcome.shards,
+        workers,
         bucket_wait: outcome.bucket_wait,
     }
 }

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use simnet::{Network, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Per-server pacing: the paper queried each server on average once every
 /// 130 seconds while interleaving across servers.
@@ -91,12 +92,101 @@ impl TokenBucket {
     }
 }
 
+/// One global admission point shared by every shard of a streamed scan,
+/// so `--rate-limit` composes with `world_shards > 1`.
+///
+/// Each shard runs its own fabric with its own virtual clock starting at
+/// zero, but a *global* rate cap is a statement about the whole scan. The
+/// shared bucket therefore meters admissions on the **concatenated
+/// timeline** — the same clock a 1-shard run would have used: shard `s`
+/// admits at `offset + local_now`, where `offset` is the summed elapsed
+/// sim-time of shards `0..s`. To keep that timeline well-defined, shard
+/// `s` may not admit until every earlier shard has called
+/// [`SharedTokenBucket::finish_shard`]; rate-limited shard *scans* thus
+/// serialize (they are throttle-bound anyway — workers still overlap
+/// fabric construction), and the admission schedule, wait totals, and
+/// digests are bit-identical for every worker count.
+#[derive(Debug)]
+pub struct SharedTokenBucket {
+    interval: SimDuration,
+    state: Mutex<SharedBucketState>,
+    turn: Condvar,
+}
+
+#[derive(Debug)]
+struct SharedBucketState {
+    /// The shard currently allowed to admit (all earlier shards finished).
+    cursor: usize,
+    /// Sum of finished shards' elapsed sim-time: the concatenated-clock
+    /// origin of the shard at `cursor`.
+    offset: SimDuration,
+    bucket: TokenBucket,
+}
+
+impl SharedTokenBucket {
+    /// A shareable burst-1 global bucket with the given refill interval.
+    pub fn new(interval: SimDuration) -> Arc<Self> {
+        Arc::new(SharedTokenBucket {
+            interval,
+            state: Mutex::new(SharedBucketState {
+                cursor: 0,
+                offset: SimDuration::ZERO,
+                bucket: TokenBucket::new(interval, 1),
+            }),
+            turn: Condvar::new(),
+        })
+    }
+
+    /// The global refill interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Block the calling OS thread until it is `shard`'s turn to admit.
+    fn wait_turn(&self, shard: usize) -> std::sync::MutexGuard<'_, SharedBucketState> {
+        let mut st = self.state.lock().expect("shared bucket lock");
+        while st.cursor != shard {
+            st = self.turn.wait(st).expect("shared bucket lock");
+        }
+        st
+    }
+
+    /// Earliest **local** time at or after `now` when `shard` may admit.
+    /// Blocks until it is `shard`'s turn.
+    pub fn next_ready(&self, shard: usize, now: SimTime) -> SimTime {
+        let mut st = self.wait_turn(shard);
+        let offset = st.offset;
+        let ready = st.bucket.next_ready(now + offset);
+        SimTime(ready.as_micros() - offset.as_micros())
+    }
+
+    /// Spend one token at local time `now` on `shard`'s clock.
+    pub fn take(&self, shard: usize, now: SimTime) {
+        let mut st = self.wait_turn(shard);
+        let offset = st.offset;
+        st.bucket.take(now + offset);
+    }
+
+    /// Shard `shard` finished scanning after `elapsed` of local sim-time:
+    /// append it to the concatenated timeline and hand the bucket to the
+    /// next shard. Must be called exactly once per shard, even for shards
+    /// that never admitted anything.
+    pub fn finish_shard(&self, shard: usize, elapsed: SimDuration) {
+        let mut st = self.wait_turn(shard);
+        st.offset = st.offset + elapsed;
+        st.cursor += 1;
+        drop(st);
+        self.turn.notify_all();
+    }
+}
+
 /// Randomizes task order and enforces per-server spacing in simulated time.
 #[derive(Debug)]
 pub struct QueryScheduler {
     interval: SimDuration,
     buckets: HashMap<Ipv4Addr, TokenBucket>,
     global: Option<TokenBucket>,
+    shared_global: Option<(Arc<SharedTokenBucket>, usize)>,
     global_interval: SimDuration,
     rng: StdRng,
     waits: u64,
@@ -110,6 +200,7 @@ impl QueryScheduler {
             interval,
             buckets: HashMap::new(),
             global: None,
+            shared_global: None,
             global_interval: SimDuration::ZERO,
             rng: StdRng::seed_from_u64(seed),
             waits: 0,
@@ -121,11 +212,26 @@ impl QueryScheduler {
     /// `interval` of simulated time. `ZERO` removes the cap.
     pub fn with_global_interval(mut self, interval: SimDuration) -> Self {
         self.global_interval = interval;
+        self.shared_global = None;
         self.global = if interval == SimDuration::ZERO {
             None
         } else {
             Some(TokenBucket::new(interval, 1))
         };
+        self
+    }
+
+    /// Use a [`SharedTokenBucket`] as the global cap: this scheduler admits
+    /// shard `shard`'s probes against the scan-wide concatenated timeline.
+    ///
+    /// The first [`QueryScheduler::admit`] blocks the calling OS thread
+    /// until every earlier shard has called
+    /// [`SharedTokenBucket::finish_shard`] — that hand-off is what makes a
+    /// rate-limited multi-shard scan bit-identical for any worker count.
+    pub fn with_shared_global(mut self, bucket: Arc<SharedTokenBucket>, shard: usize) -> Self {
+        self.global_interval = bucket.interval();
+        self.global = None;
+        self.shared_global = Some((bucket, shard));
         self
     }
 
@@ -159,6 +265,9 @@ impl QueryScheduler {
         if let Some(g) = &mut self.global {
             ready = ready.max(g.next_ready(now));
         }
+        if let Some((g, shard)) = &self.shared_global {
+            ready = ready.max(g.next_ready(*shard, now));
+        }
         if ready > now {
             net.run_until(ready);
             self.waits += 1;
@@ -170,6 +279,9 @@ impl QueryScheduler {
         }
         if let Some(g) = &mut self.global {
             g.take(t);
+        }
+        if let Some((g, shard)) = &self.shared_global {
+            g.take(*shard, t);
         }
     }
 
@@ -261,6 +373,76 @@ mod tests {
             b.take(t);
         }
         assert_eq!(b.next_ready(t), t + i);
+    }
+
+    #[test]
+    fn shared_bucket_meters_the_concatenated_timeline() {
+        // Two shards sharing one bucket must see exactly the admissions a
+        // single bucket would grant on the spliced clock: shard 1's first
+        // probe is only free if shard 0's elapsed time already covers the
+        // interval.
+        let i = SimDuration::from_millis(50);
+        let shared = SharedTokenBucket::new(i);
+        // Shard 0: admit at local 0, then hand off after 20 ms elapsed.
+        assert_eq!(shared.next_ready(0, SimTime::ZERO), SimTime::ZERO);
+        shared.take(0, SimTime::ZERO);
+        shared.finish_shard(0, SimDuration::from_millis(20));
+        // Shard 1 starts at concatenated t=20ms; the bucket refills at
+        // t=50ms, i.e. local 30ms on shard 1's clock.
+        assert_eq!(
+            shared.next_ready(1, SimTime::ZERO),
+            SimTime(SimDuration::from_millis(30).as_micros())
+        );
+        let local = SimTime(SimDuration::from_millis(30).as_micros());
+        shared.take(1, local);
+        assert_eq!(shared.next_ready(1, local), local + i);
+        shared.finish_shard(1, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn shared_bucket_serializes_shard_turns() {
+        // Shard 1's first admission must block until shard 0 finishes,
+        // even when shard 1's thread gets there first.
+        let shared = SharedTokenBucket::new(SimDuration::from_millis(10));
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let s1 = &shared;
+            let order1 = &order;
+            scope.spawn(move || {
+                let ready = s1.next_ready(1, SimTime::ZERO);
+                s1.take(1, ready);
+                order1.lock().unwrap().push("shard1-admitted");
+                s1.finish_shard(1, SimDuration::from_millis(5));
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            order.lock().unwrap().push("shard0-finishing");
+            shared.take(0, shared.next_ready(0, SimTime::ZERO));
+            shared.finish_shard(0, SimDuration::from_millis(5));
+        });
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["shard0-finishing", "shard1-admitted"]
+        );
+    }
+
+    #[test]
+    fn scheduler_with_shared_global_matches_owned_global_for_one_shard() {
+        // With a single shard the shared bucket must reproduce the owned
+        // global bucket's schedule exactly.
+        let g = SimDuration::from_millis(50);
+        let run = |mut sched: QueryScheduler| {
+            let mut net = Network::new(1);
+            let mut stamps = Vec::new();
+            for k in 0..6u8 {
+                sched.admit(&mut net, Ipv4Addr::new(9, 9, 9, k));
+                stamps.push(net.now());
+            }
+            (stamps, sched.waits(), sched.wait_us())
+        };
+        let owned = run(QueryScheduler::new(1, SimDuration::ZERO).with_global_interval(g));
+        let shared = run(QueryScheduler::new(1, SimDuration::ZERO)
+            .with_shared_global(SharedTokenBucket::new(g), 0));
+        assert_eq!(owned, shared);
     }
 
     #[test]

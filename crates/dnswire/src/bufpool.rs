@@ -126,4 +126,39 @@ mod tests {
         assert_eq!(after.discarded, before.discarded + 2);
         assert_eq!(after.returned, before.returned);
     }
+
+    #[test]
+    fn recycling_never_crosses_thread_free_lists() {
+        // The parallel streamed scan runs one fabric per worker thread;
+        // each fabric's payload recycler must feed only its own thread's
+        // free list. Releasing on a spawned thread lands on THAT thread's
+        // pool and must leave this thread's counters untouched.
+        let before = stats();
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let remote_before = stats();
+                    assert_eq!(
+                        remote_before,
+                        PoolStats::default(),
+                        "a fresh worker thread starts with an empty pool"
+                    );
+                    let mut buf = Vec::with_capacity(256);
+                    buf.extend_from_slice(b"worker payload");
+                    release(buf);
+                    let reused = acquire();
+                    assert!(reused.capacity() >= 256, "recycled on the same thread");
+                    let remote_after = stats();
+                    assert_eq!(remote_after.returned, 1);
+                    assert_eq!(remote_after.hits, 1);
+                })
+                .join()
+                .expect("pool worker thread");
+        });
+        let after = stats();
+        assert_eq!(
+            after, before,
+            "another thread's recycling must not touch this thread's pool"
+        );
+    }
 }

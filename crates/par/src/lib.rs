@@ -23,7 +23,9 @@
 
 mod stream;
 
-pub use stream::{ordered_pipeline, ordered_pipeline_obs, BatchChannel, ExecObs, Splicer};
+pub use stream::{
+    ordered_pipeline, ordered_pipeline_obs, sharded_ordered_fold, BatchChannel, ExecObs, Splicer,
+};
 
 use std::num::NonZeroUsize;
 

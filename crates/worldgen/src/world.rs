@@ -268,6 +268,16 @@ pub struct ScanBlueprint {
     backing: BlueprintBacking,
 }
 
+// The parallel streamed scan shares one blueprint across its shard
+// workers, each calling `build_network_scoped` concurrently; the lazy
+// backing is an `Arc<StreamPlan>` of pure generation functions, so this
+// holds by construction. The assertion keeps it a compile error to ever
+// put interior-mutable state in here.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<ScanBlueprint>();
+};
+
 /// Where a blueprint's node state comes from: an eager snapshot of a built
 /// [`World`], or the compact generation plan of a [`crate::StreamWorld`]
 /// from which zones are materialized on demand.
